@@ -1,0 +1,166 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   A. Solana commitment depth: 1 vs 30 confirmations (latency floor).
+//   B. Quorum mempool policy: never-drop (IBFT) vs a bounded pool, under
+//      the 10,000 TPS flood of §6.3.
+//   C. Avalanche block period: the ~1.9 s throttle vs faster production.
+//   D. Clique block period sweep (Ethereum).
+//   E. Gossip batching interval (dissemination latency vs message count).
+#include "bench/bench_util.h"
+#include "src/chains/params.h"
+
+namespace diablo {
+namespace {
+
+RunResult RunWith(const ChainParams& params, const std::string& deployment, double tps,
+                  int seconds, double scale) {
+  BenchmarkSetup setup;
+  setup.chain = params.name;
+  setup.params = params;
+  setup.deployment = deployment;
+  setup.scale = scale;
+  Primary primary(setup);
+  return primary.RunNative(ConstantTrace(tps, seconds));
+}
+
+void AblateSolanaConfirmations(double scale) {
+  std::printf("\nA. Solana commitment depth (datacenter, 1,000 TPS):\n");
+  for (const int depth : {1, 10, 30}) {
+    ChainParams params = GetChainParams("solana");
+    params.confirmation_depth = depth;
+    const RunResult result = RunWith(params, "datacenter", 1000, 60, scale);
+    std::printf("  %2d confirmations: latency %6.2f s, throughput %7.1f TPS\n", depth,
+                result.report.avg_latency, result.report.avg_throughput);
+  }
+  std::printf("  -> the 30-confirmation rule (§5.2), not consensus, dominates the"
+              " ~13 s latency.\n");
+}
+
+void AblateQuorumMempool(double scale) {
+  std::printf("\nB. Quorum mempool policy under a 10,000 TPS flood (datacenter):\n");
+  {
+    const RunResult result =
+        RunWith(GetChainParams("quorum"), "datacenter", 10000, 120, scale);
+    std::printf("  never-drop (IBFT design): throughput %7.1f TPS, %llu view changes\n",
+                result.report.avg_throughput,
+                static_cast<unsigned long long>(result.chain_stats.view_changes));
+  }
+  {
+    ChainParams params = GetChainParams("quorum");
+    params.mempool.global_cap = 20000;  // drop excess instead of hoarding it
+    params.proposal_overhead_quadratic = 0;
+    const RunResult result = RunWith(params, "datacenter", 10000, 120, scale);
+    std::printf("  bounded pool (cap 20k):   throughput %7.1f TPS, commit %5.1f%%\n",
+                result.report.avg_throughput, 100.0 * result.report.commit_ratio);
+  }
+  std::printf("  -> never dropping a request is what turns overload into collapse"
+              " (§6.3).\n");
+}
+
+void AblateAvalanchePeriod(double scale) {
+  std::printf("\nC. Avalanche block period (datacenter, 1,000 TPS):\n");
+  for (const double period_s : {0.5, 1.9, 5.0}) {
+    ChainParams params = GetChainParams("avalanche");
+    params.block_interval = SecondsF(period_s);
+    const RunResult result = RunWith(params, "datacenter", 1000, 60, scale);
+    std::printf("  period %.1f s: throughput %7.1f TPS, latency %6.1f s\n", period_s,
+                result.report.avg_throughput, result.report.avg_latency);
+  }
+  std::printf("  -> the >=1.9 s throttle plus the 8M-gas cap pins Avalanche's"
+              " ceiling (§6.2).\n");
+}
+
+void AblateCliquePeriod(double scale) {
+  std::printf("\nD. Ethereum Clique block period (testnet, 500 TPS):\n");
+  for (const int period_s : {1, 5, 15}) {
+    ChainParams params = GetChainParams("ethereum");
+    params.block_interval = Seconds(period_s);
+    const RunResult result = RunWith(params, "testnet", 500, 60, scale);
+    std::printf("  period %2d s: throughput %7.1f TPS, latency %6.1f s\n", period_s,
+                result.report.avg_throughput, result.report.avg_latency);
+  }
+}
+
+void AblateSignatureScheme(double scale) {
+  std::printf("\nF. Signature scheme (Avalanche, 1,000 TPS x 120 s pre-signing):\n");
+  std::printf("   (the paper's setup initially used RSA4096 as recommended and the\n"
+              "    signing 'was taking too long due to the scale', §5.2)\n");
+  // Diablo pre-signs the whole workload before the benchmark starts: the
+  // wall-clock cost of that setup phase is what broke RSA4096.
+  const double txs = 1000.0 * 120.0 * scale;
+  const double worker_cores = 10 * 4;  // 10 secondaries on c5.xlarge
+  for (const SignatureScheme scheme :
+       {SignatureScheme::kEcdsa, SignatureScheme::kEd25519, SignatureScheme::kRsa4096}) {
+    const SignatureCost cost = CostOf(scheme);
+    const double presign_s = txs * ToSeconds(cost.sign) / worker_cores;
+    std::printf("  %-8s sign %6.2f ms/tx -> pre-signing the workload takes %7.1f s"
+                " (%d-byte signatures)\n",
+                scheme == SignatureScheme::kEcdsa     ? "ECDSA"
+                : scheme == SignatureScheme::kEd25519 ? "Ed25519"
+                                                      : "RSA4096",
+                ToMilliseconds(cost.sign), presign_s, cost.bytes);
+  }
+  std::printf("  -> verification cost barely moves the chain; signing cost breaks"
+              " the harness.\n");
+}
+
+void AblateGossipBatching(double scale) {
+  std::printf("\nE. Gossip batch interval (quorum, devnet, 800 TPS):\n");
+  for (const int batch_ms : {10, 200, 1000}) {
+    ChainParams params = GetChainParams("quorum");
+    params.gossip_batch_interval = Milliseconds(batch_ms);
+    const RunResult result = RunWith(params, "devnet", 800, 60, scale);
+    std::printf("  batch %4d ms: latency %5.2f s, throughput %7.1f TPS\n", batch_ms,
+                result.report.avg_latency, result.report.avg_throughput);
+  }
+  std::printf("  -> batching adds half an interval of latency; it exists to bound"
+              " message counts.\n");
+}
+
+void AblateCommitDetection(double scale) {
+  std::printf("\nH. Client commit-detection interval (Algorand, testnet, 500 TPS):\n");
+  std::printf("   (§5.2: diablo switched from Algorand's blocking API to polling\n"
+              "    every appended block, 'which improved significantly Algorand's\n"
+              "    performance')\n");
+  for (const int poll_ms : {100, 500, 2000, 5000}) {
+    ChainParams params = GetChainParams("algorand");
+    params.client_poll_interval = Milliseconds(poll_ms);
+    const RunResult result = RunWith(params, "testnet", 500, 60, scale);
+    std::printf("  poll %4d ms: observed latency %5.2f s, throughput %6.1f TPS\n",
+                poll_ms, result.report.avg_latency, result.report.avg_throughput);
+  }
+  std::printf("  -> a blocking per-transaction wait behaves like a multi-second\n"
+              "     detection interval and inflates every measured latency.\n");
+}
+
+void AblateLeaderlessBft(double scale) {
+  std::printf("\nG. Leader-based vs leaderless deterministic BFT at 10,000 TPS"
+              " (datacenter):\n");
+  std::printf("   (§6.3/§6.6: Smart Red Belly's leaderless DBFT 'is immune to"
+              " this problem')\n");
+  for (const char* chain : {"quorum", "redbelly"}) {
+    const RunResult result = RunWith(GetChainParams(chain), "datacenter", 10000,
+                                     120, scale);
+    std::printf("  %-9s (%s): throughput %7.1f TPS, latency %6.1f s,"
+                " %llu view changes\n",
+                chain, GetChainParams(chain).consensus_name.c_str(),
+                result.report.avg_throughput, result.report.avg_latency,
+                static_cast<unsigned long long>(result.chain_stats.view_changes));
+  }
+}
+
+}  // namespace
+}  // namespace diablo
+
+int main() {
+  diablo::PrintHeader("Ablations — design choices called out in DESIGN.md");
+  const double scale = diablo::ScaleFromEnv();
+  diablo::AblateSolanaConfirmations(scale);
+  diablo::AblateQuorumMempool(scale);
+  diablo::AblateAvalanchePeriod(scale);
+  diablo::AblateCliquePeriod(scale);
+  diablo::AblateSignatureScheme(scale);
+  diablo::AblateGossipBatching(scale);
+  diablo::AblateCommitDetection(scale);
+  diablo::AblateLeaderlessBft(scale);
+  return 0;
+}

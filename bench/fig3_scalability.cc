@@ -1,0 +1,42 @@
+// Figure 3: average throughput and average latency of each blockchain under
+// a constant 1,000 TPS native-transfer workload for 120 s, on the
+// datacenter, testnet, devnet and community configurations (§6.2).
+#include "bench/bench_util.h"
+#include "src/chains/params.h"
+
+namespace diablo {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Figure 3 — scalability: 1,000 TPS native transfers, 120 s\n"
+      "(throughput TPS / latency s per deployment configuration)");
+  const double scale = ScaleFromEnv();
+  const char* deployments[] = {"datacenter", "testnet", "devnet", "community"};
+
+  std::printf("%-10s", "chain");
+  for (const char* deployment : deployments) {
+    std::printf("  %22s", deployment);
+  }
+  std::printf("\n");
+
+  for (const std::string& chain : AllChainNames()) {
+    std::printf("%-10s", chain.c_str());
+    for (const char* deployment : deployments) {
+      const RunResult result =
+          RunNativeBenchmark(chain, deployment, 1000, 120, /*seed=*/1, scale);
+      std::printf("  %9.0f TPS %6.1f s", result.report.avg_throughput,
+                  result.report.avg_latency);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace diablo
+
+int main() {
+  diablo::Run();
+  return 0;
+}

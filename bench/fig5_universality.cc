@@ -1,0 +1,33 @@
+// Figure 5: throughput and latency of each blockchain when stressed with
+// the Uber workload (810-900 TPS of compute-intensive Mobility service DApp
+// invocations) on the consortium configuration; an X marks chains whose VM
+// cannot execute the DApp (§6.4).
+#include "bench/bench_util.h"
+#include "src/chains/params.h"
+
+namespace diablo {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Figure 5 — universality: Mobility service DApp (Uber, 810-900 TPS)\n"
+      "consortium configuration (200 nodes x 8 vCPUs, 10 regions)");
+  const double scale = ScaleFromEnv();
+  for (const std::string& chain : AllChainNames()) {
+    const RunResult result =
+        RunDappBenchmark(chain, "consortium", "uber", /*seed=*/1, scale);
+    PrintRunRow(chain, result);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\npaper shapes: Algorand/Diem/Solana = X (budget exceeded);\n"
+      "Quorum ~622 TPS; Avalanche & Ethereum < 169 TPS.\n");
+}
+
+}  // namespace
+}  // namespace diablo
+
+int main() {
+  diablo::Run();
+  return 0;
+}

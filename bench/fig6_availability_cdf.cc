@@ -1,0 +1,51 @@
+// Figure 6: CDF of transaction latencies under the NASDAQ per-stock load
+// peaks — Google (800 tx in the first second), Microsoft (4,000) and Apple
+// (10,000) — on the consortium configuration (§6.5). A CDF that plateaus
+// below 100% means the chain dropped the remaining transactions.
+#include "bench/bench_util.h"
+#include "src/chains/params.h"
+
+namespace diablo {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Figure 6 — availability under load peaks (NASDAQ per-stock bursts)\n"
+      "CDF of transaction latencies; plateau < 100% = dropped transactions");
+  const double scale = ScaleFromEnv();
+
+  for (const char* stock : {"google", "microsoft", "apple"}) {
+    std::printf("\n--- %s workload ---\n", stock);
+    std::printf("%-10s %9s %9s %9s %9s %9s %9s  %s\n", "chain", "p25", "p50", "p75",
+                "p90", "max(s)", "commit%", "latency CDF sparkline");
+    for (const std::string& chain : AllChainNames()) {
+      const RunResult result =
+          RunDappBenchmark(chain, "consortium", stock, /*seed=*/1, scale);
+      const Report& r = result.report;
+      std::vector<double> cdf;
+      for (const auto& [x, frac] : r.latencies.CdfSeries(40)) {
+        (void)x;
+        cdf.push_back(frac * r.commit_ratio);  // plateau at the commit ratio
+      }
+      std::printf("%-10s %9.1f %9.1f %9.1f %9.1f %9.1f %8.1f%%  |%s|\n", chain.c_str(),
+                  r.latencies.Percentile(0.25), r.latencies.Percentile(0.5),
+                  r.latencies.Percentile(0.75), r.latencies.Percentile(0.9),
+                  r.max_latency, 100.0 * r.commit_ratio,
+                  Sparkline(cdf, 40).c_str());
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\npaper shapes: Quorum commits 100%% on all three bursts (91%% within 8 s\n"
+      "on Apple); Diem plateaus at ~75%% (all < 30 s); Algorand ~77%% and Solana\n"
+      "~52%% on Apple; Avalanche ~90%% but with latencies up to 162 s; Ethereum\n"
+      "slowest on Google (~118 s) and ~64%% on Microsoft.\n");
+}
+
+}  // namespace
+}  // namespace diablo
+
+int main() {
+  diablo::Run();
+  return 0;
+}

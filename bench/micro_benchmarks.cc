@@ -1,0 +1,164 @@
+// Micro benchmarks (google-benchmark) for the substrates: event loop
+// throughput, network delay sampling, SHA-256, Merkle trees, VM execution
+// per dialect, mempool operations, trace generation and YAML parsing.
+#include <benchmark/benchmark.h>
+
+#include "src/chain/mempool.h"
+#include "src/config/yaml.h"
+#include "src/contracts/contracts.h"
+#include "src/crypto/merkle.h"
+#include "src/crypto/sha256.h"
+#include "src/net/network.h"
+#include "src/sim/simulation.h"
+#include "src/vm/interpreter.h"
+#include "src/workload/trace.h"
+
+namespace diablo {
+namespace {
+
+void BM_EventLoop(benchmark::State& state) {
+  const int64_t events = state.range(0);
+  for (auto _ : state) {
+    Simulation sim(1);
+    uint64_t sink = 0;
+    for (int64_t i = 0; i < events; ++i) {
+      sim.Schedule(i, [&sink] { ++sink; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventLoop)->Arg(1000)->Arg(100000);
+
+void BM_NetworkDelaySample(benchmark::State& state) {
+  Simulation sim(1);
+  Network net(&sim);
+  std::vector<HostId> hosts;
+  for (int i = 0; i < 20; ++i) {
+    hosts.push_back(net.AddHost(static_cast<Region>(i % kRegionCount)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.DelaySample(hosts[i % 20], hosts[(i + 7) % 20], 256));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkDelaySample);
+
+void BM_Sha256(benchmark::State& state) {
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256Digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_MerkleRoot(benchmark::State& state) {
+  std::vector<Digest256> leaves;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    leaves.push_back(Sha256Digest(std::string("tx") + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerkleRoot(leaves));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MerkleRoot)->Arg(64)->Arg(1024);
+
+void BM_VmCounterAdd(benchmark::State& state) {
+  const Program program = CompileContract(*FindContract("counter"));
+  ContractState contract_state;
+  ExecRequest request;
+  request.program = &program;
+  request.function = "add";
+  request.state = &contract_state;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Execute(request));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VmCounterAdd);
+
+void BM_VmUberCheckDistance(benchmark::State& state) {
+  // The heavy one: 10,000 Newton square roots per call.
+  const ContractDef& def = *FindContract("uber");
+  const Program program = CompileContract(def);
+  ContractState contract_state;
+  ExecRequest init;
+  init.program = &program;
+  init.function = "init";
+  init.args = def.init_args;
+  init.state = &contract_state;
+  Execute(init);
+
+  ExecRequest request;
+  request.program = &program;
+  request.function = "check_distance";
+  const std::vector<int64_t> args = {5000, 5000};
+  request.args = args;
+  request.state = &contract_state;
+  request.dialect = static_cast<VmDialect>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Execute(request));
+  }
+}
+BENCHMARK(BM_VmUberCheckDistance)
+    ->Arg(static_cast<int>(VmDialect::kGeth))   // full execution
+    ->Arg(static_cast<int>(VmDialect::kEbpf));  // stops at the budget
+
+void BM_MempoolChurn(benchmark::State& state) {
+  MempoolConfig config;
+  Mempool pool(config);
+  SimTime now = 0;
+  TxId id = 0;
+  std::vector<TxId> expired;
+  for (auto _ : state) {
+    for (int i = 0; i < 100; ++i) {
+      pool.Add(id, id % 64, now, now + 1000);
+      ++id;
+    }
+    now += Seconds(1);
+    benchmark::DoNotOptimize(
+        pool.TakeReady(now, 0, 0, 100, [](TxId) { return 21000; },
+                       [](TxId) { return 110; }, &expired));
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_MempoolChurn);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NasdaqGafamTrace());
+    benchmark::DoNotOptimize(FifaTrace());
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_YamlParse(benchmark::State& state) {
+  const std::string doc = R"yaml(let:
+  - &acc { sample: !account { number: 2000 } }
+workloads:
+  - number: 3
+    client:
+      behavior:
+        - interaction: !invoke
+            from: *acc
+            function: "update(1, 1)"
+          load:
+            0: 4432
+            120: 0
+)yaml";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseYaml(doc));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_YamlParse);
+
+}  // namespace
+}  // namespace diablo
+
+BENCHMARK_MAIN();

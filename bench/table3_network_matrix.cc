@@ -1,0 +1,69 @@
+// Table 3: the five deployment configurations (left) and the inter-region
+// round-trip time / bandwidth matrix (right). The matrix is re-measured
+// iperf3-style through the simulated network — small probes for RTT, a
+// large transfer for achieved bandwidth — and printed in the paper's
+// layout: bandwidth above the diagonal, RTT below.
+#include "bench/bench_util.h"
+#include "src/net/deployment.h"
+#include "src/net/network.h"
+
+namespace diablo {
+namespace {
+
+void Run() {
+  PrintHeader("Table 3 — deployment configurations and measured network matrix");
+
+  std::printf("%-12s %7s %8s %8s  %s\n", "config", "nodes", "vCPUs", "memory",
+              "regions");
+  for (const DeploymentConfig& deployment : AllDeployments()) {
+    std::printf("%-12s %7d %8d %5d GiB  %zu\n", deployment.name.c_str(),
+                deployment.node_count, deployment.machine.vcpus,
+                deployment.machine.memory_gib, deployment.regions.size());
+  }
+
+  Simulation sim(1);
+  Network net(&sim, /*jitter_frac=*/0.0);
+  std::vector<HostId> hosts;
+  for (const Region region : AllRegions()) {
+    hosts.push_back(net.AddHost(region));
+  }
+
+  std::printf("\nmeasured matrix: bandwidth Mbps above diagonal, RTT ms below\n");
+  std::printf("%-11s", "");
+  for (const Region region : AllRegions()) {
+    std::printf("%9.7s", std::string(RegionName(region)).c_str());
+  }
+  std::printf("\n");
+  for (int i = 0; i < kRegionCount; ++i) {
+    std::printf("%-11s", std::string(RegionName(static_cast<Region>(i))).c_str());
+    for (int j = 0; j < kRegionCount; ++j) {
+      if (i == j) {
+        std::printf("%9s", "-");
+        continue;
+      }
+      if (i < j) {
+        // iperf-style: 8 MB bulk transfer; bandwidth from transfer time
+        // minus propagation.
+        const int64_t bytes = 8'000'000;
+        const SimDuration total = net.DelaySample(hosts[i], hosts[j], bytes);
+        const SimDuration prop = net.DelaySample(hosts[i], hosts[j], 1);
+        const double seconds = ToSeconds(total - prop);
+        std::printf("%9.1f", 8.0 * static_cast<double>(bytes) / (seconds * 1e6));
+      } else {
+        // Ping: round trip of a 64-byte probe.
+        const SimDuration rtt = net.DelaySample(hosts[i], hosts[j], 64) +
+                                net.DelaySample(hosts[j], hosts[i], 64);
+        std::printf("%9.1f", ToMilliseconds(rtt));
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace diablo
+
+int main() {
+  diablo::Run();
+  return 0;
+}

@@ -1,0 +1,196 @@
+// Command-line front end, in the spirit of the paper's
+//   diablo primary -vvv --output=results.json 10 setup.yaml workload.yaml
+//
+// Usage:
+//   diablo_cli --chain=quorum --deployment=testnet --workload=native
+//              --tps=100 --duration=60 [--seed=1] [--scale=1.0]
+//              [--output=results.json] [--csv=results.csv] [-v|-vv|-vvv]
+//   diablo_cli --chain=solana --deployment=consortium --workload=fifa
+//   diablo_cli --spec=workload.yaml --chain=quorum
+//
+// Workloads: "native" (constant --tps for --duration), one of the five
+// DApps (exchange, dota, fifa, uber, youtube), a NASDAQ stock burst
+// (google, amazon, facebook, microsoft, apple), or --spec=FILE for a YAML
+// workload specification (§4).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/config/spec.h"
+#include "src/core/results.h"
+#include "src/core/runner.h"
+#include "src/support/log.h"
+#include "src/support/strings.h"
+
+namespace {
+
+struct Options {
+  std::string chain = "quorum";
+  std::string deployment = "testnet";
+  std::string workload = "native";
+  std::string spec_file;
+  std::string output_json;
+  std::string output_csv;
+  double tps = 100;
+  int duration = 60;
+  uint64_t seed = 1;
+  double scale = 1.0;
+  int verbosity = 0;
+  bool help = false;
+};
+
+bool ParseFlag(const std::string& arg, const std::string& name, std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (!diablo::StartsWith(arg, prefix)) {
+    return false;
+  }
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    int64_t integer = 0;
+    double real = 0;
+    if (arg == "--help" || arg == "-h") {
+      options->help = true;
+    } else if (arg == "-v" || arg == "-vv" || arg == "-vvv") {
+      options->verbosity = static_cast<int>(arg.size()) - 1;
+    } else if (ParseFlag(arg, "chain", &value)) {
+      options->chain = value;
+    } else if (ParseFlag(arg, "deployment", &value)) {
+      options->deployment = value;
+    } else if (ParseFlag(arg, "workload", &value)) {
+      options->workload = value;
+    } else if (ParseFlag(arg, "spec", &value)) {
+      options->spec_file = value;
+    } else if (ParseFlag(arg, "output", &value)) {
+      options->output_json = value;
+    } else if (ParseFlag(arg, "csv", &value)) {
+      options->output_csv = value;
+    } else if (ParseFlag(arg, "tps", &value) && diablo::ParseDouble(value, &real)) {
+      options->tps = real;
+    } else if (ParseFlag(arg, "duration", &value) && diablo::ParseInt64(value, &integer)) {
+      options->duration = static_cast<int>(integer);
+    } else if (ParseFlag(arg, "seed", &value) && diablo::ParseInt64(value, &integer)) {
+      options->seed = static_cast<uint64_t>(integer);
+    } else if (ParseFlag(arg, "scale", &value) && diablo::ParseDouble(value, &real)) {
+      options->scale = real;
+    } else {
+      std::fprintf(stderr, "unknown or malformed argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintUsage() {
+  std::printf(
+      "diablo_cli — run a diablo benchmark against a simulated blockchain\n"
+      "  --chain=NAME        algorand|avalanche|diem|quorum|ethereum|solana\n"
+      "  --deployment=NAME   datacenter|testnet|devnet|community|consortium\n"
+      "  --workload=NAME     native|exchange|dota|fifa|uber|youtube|<stock>\n"
+      "  --tps=N             rate for --workload=native (default 100)\n"
+      "  --duration=SECONDS  duration for --workload=native (default 60)\n"
+      "  --spec=FILE         YAML workload specification instead of --workload\n"
+      "  --seed=N --scale=F  determinism and downscaling controls\n"
+      "  --output=FILE.json  write summary + per-transaction records\n"
+      "  --csv=FILE.csv      write per-transaction CSV\n"
+      "  -v|-vv|-vvv         verbosity\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 1;
+  }
+  if (options.help) {
+    PrintUsage();
+    return 0;
+  }
+  if (options.verbosity >= 1) {
+    diablo::SetLogLevel(options.verbosity >= 3   ? diablo::LogLevel::kDebug
+                        : options.verbosity == 2 ? diablo::LogLevel::kInfo
+                                                 : diablo::LogLevel::kWarn);
+  }
+
+  diablo::RunResult result;
+  if (!options.spec_file.empty()) {
+    std::ifstream file(options.spec_file);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", options.spec_file.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const diablo::SpecResult spec = diablo::ParseWorkloadSpec(buffer.str());
+    if (!spec.ok) {
+      std::fprintf(stderr, "spec error: %s\n", spec.error.c_str());
+      return 1;
+    }
+    diablo::BenchmarkSetup setup;
+    setup.chain = options.chain;
+    setup.deployment = options.deployment;
+    setup.seed = options.seed;
+    setup.scale = options.scale;
+    setup.results_json_path = options.output_json;
+    setup.results_csv_path = options.output_csv;
+    diablo::Primary primary(setup);
+    result = primary.RunSpec(spec.spec);
+  } else {
+    diablo::BenchmarkSetup setup;
+    setup.chain = options.chain;
+    setup.deployment = options.deployment;
+    setup.seed = options.seed;
+    setup.scale = options.scale;
+    setup.results_json_path = options.output_json;
+    setup.results_csv_path = options.output_csv;
+    diablo::Primary primary(setup);
+    if (options.workload == "native") {
+      result = primary.RunNative(diablo::ConstantTrace(options.tps, options.duration));
+    } else {
+      diablo::DappWorkload workload;
+      const std::string key = diablo::ToLower(options.workload);
+      bool stock = false;
+      for (const char* name : {"google", "amazon", "facebook", "microsoft", "apple"}) {
+        if (key == name) {
+          workload = diablo::GetDappWorkload("exchange");
+          workload.name = key;
+          workload.trace = diablo::NasdaqStockTrace(key);
+          stock = true;
+        }
+      }
+      if (!stock) {
+        workload = diablo::GetDappWorkload(options.workload);
+      }
+      result = primary.RunDapp(workload);
+    }
+  }
+
+  if (result.unsupported) {
+    std::printf("workload not supported on %s: %s\n", options.chain.c_str(),
+                result.failure_reason.c_str());
+    return 2;
+  }
+  std::printf("%s", result.report.ToText().c_str());
+  if (!result.failure_reason.empty()) {
+    std::printf("client errors: %s\n", result.failure_reason.c_str());
+  }
+
+  // The primary wrote the full documents (summary + per-transaction
+  // records) itself; see src/analysis/ for loading them back.
+  if (!options.output_json.empty()) {
+    std::printf("wrote %s\n", options.output_json.c_str());
+  }
+  if (!options.output_csv.empty()) {
+    std::printf("wrote %s\n", options.output_csv.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Quickstart: the artifact's first experiment (§A.3) — a light native
+// transfer workload ("workload-native-10": 10 TPS) against one blockchain,
+// printing the primary's aggregate statistics and writing the results JSON
+// and CSV files.
+//
+//   ./quickstart [chain] [deployment] [tps] [seconds]
+//   ./quickstart algorand testnet 10 30
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/interface.h"
+#include "src/core/results.h"
+#include "src/core/runner.h"
+#include "src/support/strings.h"
+
+int main(int argc, char** argv) {
+  const std::string chain = argc > 1 ? argv[1] : "algorand";
+  const std::string deployment = argc > 2 ? argv[2] : "testnet";
+  const double tps = argc > 3 ? std::atof(argv[3]) : 10.0;
+  const int seconds = argc > 4 ? std::atoi(argv[4]) : 30;
+
+  std::printf("diablo quickstart: %.0f native TPS for %d s on %s (%s)\n\n", tps,
+              seconds, chain.c_str(), deployment.c_str());
+
+  // Primary + Secondaries + simulated chain, one call.
+  diablo::BenchmarkSetup setup;
+  setup.chain = chain;
+  setup.deployment = deployment;
+  diablo::Primary primary(setup);
+  const diablo::RunResult result =
+      primary.RunNative(diablo::ConstantTrace(tps, seconds));
+
+  std::printf("%s\n", result.report.ToText().c_str());
+  std::printf("blocks produced: %llu (%llu empty), view changes: %llu\n",
+              static_cast<unsigned long long>(result.chain_stats.blocks_produced),
+              static_cast<unsigned long long>(result.chain_stats.empty_blocks),
+              static_cast<unsigned long long>(result.chain_stats.view_changes));
+
+  // The aggregate JSON the primary would emit with --output.
+  std::printf("\nsummary json:\n%s\n", diablo::ReportToJson(result.report).c_str());
+  return 0;
+}

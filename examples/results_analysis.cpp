@@ -1,0 +1,68 @@
+// Post-mortem analysis example, mirroring the artifact's results pipeline
+// (§A.3: unpack results, convert to CSV, inspect latencies):
+//
+//   1. runs two benchmarks writing full results documents,
+//   2. loads them back through the analysis library,
+//   3. recomputes the latency distribution from the raw records and prints
+//      a side-by-side comparison.
+//
+//   ./results_analysis [chain_a] [chain_b]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/analysis.h"
+#include "src/core/runner.h"
+
+namespace {
+
+diablo::LoadedResults RunAndReload(const std::string& chain, const std::string& path) {
+  diablo::BenchmarkSetup setup;
+  setup.chain = chain;
+  setup.deployment = "testnet";
+  setup.results_json_path = path;
+  diablo::Primary primary(setup);
+  primary.RunNative(diablo::ConstantTrace(100, 30));
+
+  std::ifstream file(path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const diablo::LoadResult loaded = diablo::LoadResultsJson(buffer.str());
+  if (!loaded.ok) {
+    std::fprintf(stderr, "failed to reload %s: %s\n", path.c_str(),
+                 loaded.error.c_str());
+    std::exit(1);
+  }
+  return loaded.results;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string chain_a = argc > 1 ? argv[1] : "quorum";
+  const std::string chain_b = argc > 2 ? argv[2] : "solana";
+
+  std::printf("running 100 TPS x 30 s on %s and %s, writing results JSON...\n\n",
+              chain_a.c_str(), chain_b.c_str());
+  const diablo::LoadedResults a = RunAndReload(chain_a, "/tmp/diablo_a.json");
+  const diablo::LoadedResults b = RunAndReload(chain_b, "/tmp/diablo_b.json");
+
+  std::printf("%s\n", diablo::CompareRuns({a, b}).c_str());
+
+  for (const diablo::LoadedResults* run : {&a, &b}) {
+    const diablo::SampleSet latencies = run->CommittedLatencies();
+    std::printf("%s latency from raw records: p50 %.2f s, p90 %.2f s, p99 %.2f s\n",
+                run->chain.c_str(), latencies.Percentile(0.5),
+                latencies.Percentile(0.9), latencies.Percentile(0.99));
+  }
+
+  // Per-second commit counts, like the artifact's postmortem time series.
+  std::printf("\n%s commits per second: ", a.chain.c_str());
+  const diablo::TimeSeries series = a.CommittedPerSecond();
+  for (size_t s = 0; s < std::min<size_t>(series.size(), 15); ++s) {
+    std::printf("%llu ", static_cast<unsigned long long>(series.CountAt(s)));
+  }
+  std::printf("...\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Post-mortem analysis of benchmark results, in the spirit of the
+// artifact's results/csv-results tooling (§A.3): load the primary's JSON
+// output back, recompute distributions, and compare runs side by side.
+#ifndef SRC_ANALYSIS_ANALYSIS_H_
+#define SRC_ANALYSIS_ANALYSIS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/stats.h"
+
+namespace diablo {
+
+// One transaction record from a results document.
+struct TxRecord {
+  double submit = 0;   // seconds
+  double commit = -1;  // seconds, -1 when never committed
+  double latency = -1;
+  std::string status;  // "committed" | "dropped" | "aborted" | "submitted"
+};
+
+// A loaded results document: the summary plus (optionally capped)
+// per-transaction records.
+struct LoadedResults {
+  std::string chain;
+  std::string deployment;
+  std::string workload;
+  double duration_s = 0;
+  size_t submitted = 0;
+  size_t committed = 0;
+  size_t dropped = 0;
+  size_t aborted = 0;
+  size_t pending = 0;
+  double avg_throughput = 0;
+  double avg_latency = 0;
+  std::vector<TxRecord> transactions;
+
+  // Recomputes latency statistics from the transaction records (exactly
+  // what the artifact's csv pipeline does).
+  SampleSet CommittedLatencies() const;
+  // Committed transactions per second, bucketed from the records.
+  TimeSeries CommittedPerSecond() const;
+};
+
+struct LoadResult {
+  bool ok = false;
+  std::string error;
+  LoadedResults results;
+};
+
+// Parses a results JSON document produced by WriteResultsJson.
+LoadResult LoadResultsJson(std::string_view json_text);
+
+// Parses a per-transaction CSV produced by WriteResultsCsv.
+LoadResult LoadResultsCsv(std::string_view csv_text);
+
+// Renders a side-by-side comparison of several runs as a fixed-width text
+// table (chain, workload, throughput, latency, commit ratio).
+std::string CompareRuns(const std::vector<LoadedResults>& runs);
+
+}  // namespace diablo
+
+#endif  // SRC_ANALYSIS_ANALYSIS_H_

@@ -1,0 +1,21 @@
+#include "src/chain/block.h"
+
+namespace diablo {
+
+void Ledger::Append(Block block) {
+  total_txs_ += block.txs.size();
+  blocks_.push_back(std::move(block));
+}
+
+Digest256 Ledger::HeaderChainDigest() const {
+  Sha256 hasher;
+  for (const Block& block : blocks_) {
+    hasher.Update(&block.height, sizeof(block.height));
+    hasher.Update(&block.proposer, sizeof(block.proposer));
+    const uint64_t n = block.txs.size();
+    hasher.Update(&n, sizeof(n));
+  }
+  return hasher.Finish();
+}
+
+}  // namespace diablo

@@ -1,0 +1,58 @@
+// Blocks and the ledger (the canonical chain of finalized blocks).
+//
+// The simulators model fork resolution through per-protocol confirmation
+// depths rather than explicit branch structures: a block's finality time is
+// computed by its consensus engine (immediately for deterministic finality,
+// after k further blocks for forkable chains).
+#ifndef SRC_CHAIN_BLOCK_H_
+#define SRC_CHAIN_BLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/chain/tx.h"
+#include "src/crypto/sha256.h"
+#include "src/support/time.h"
+
+namespace diablo {
+
+struct Block {
+  uint64_t height = 0;
+  uint32_t proposer = 0;       // node index
+  int64_t gas_used = 0;
+  int64_t bytes = 0;           // wire size, header included
+  SimTime proposed_at = 0;
+  SimTime finalized_at = -1;   // -1 while not yet final
+  std::vector<TxId> txs;
+};
+
+// Fixed header overhead added to the transaction payload bytes.
+inline constexpr int64_t kBlockHeaderBytes = 512;
+
+class Ledger {
+ public:
+  // Appends a block; heights must be appended in increasing order.
+  void Append(Block block);
+
+  size_t block_count() const { return blocks_.size(); }
+  const Block& block(size_t i) const { return blocks_[i]; }
+  Block& block(size_t i) { return blocks_[i]; }
+  const Block& last() const { return blocks_.back(); }
+  bool empty() const { return blocks_.empty(); }
+
+  uint64_t next_height() const { return blocks_.empty() ? 1 : blocks_.back().height + 1; }
+
+  size_t total_txs() const { return total_txs_; }
+
+  // Header-chain digest over (height, proposer, tx count) triples; gives
+  // tests a cheap integrity check without hashing every transaction.
+  Digest256 HeaderChainDigest() const;
+
+ private:
+  std::vector<Block> blocks_;
+  size_t total_txs_ = 0;
+};
+
+}  // namespace diablo
+
+#endif  // SRC_CHAIN_BLOCK_H_

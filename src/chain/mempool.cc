@@ -1,0 +1,107 @@
+#include "src/chain/mempool.h"
+
+namespace diablo {
+
+AdmitResult Mempool::Add(TxId id, uint32_t signer, SimTime ingress_time,
+                         SimTime ready_time, TxId* evicted) {
+  if (evicted != nullptr) {
+    *evicted = kInvalidTx;
+  }
+  if (config_.global_cap > 0 && live_count_ >= config_.global_cap) {
+    if (!config_.evict_on_full || rng_ == nullptr) {
+      ++rejected_;
+      return AdmitResult::kPoolFull;
+    }
+    const TxId victim = EvictRandom();
+    if (victim == kInvalidTx) {
+      ++rejected_;
+      return AdmitResult::kPoolFull;
+    }
+    if (evicted != nullptr) {
+      *evicted = victim;
+    }
+  }
+  if (config_.per_signer_cap > 0) {
+    uint32_t& count = signer_counts_[signer];
+    if (count >= config_.per_signer_cap) {
+      ++rejected_;
+      return AdmitResult::kSignerCapReached;
+    }
+    ++count;
+  }
+  queue_.push(Entry{ready_time, ingress_time, id, signer});
+  if (config_.evict_on_full) {
+    ring_.emplace_back(id, signer);
+    CompactRingIfNeeded();
+  }
+  ++live_count_;
+  ++admitted_;
+  return AdmitResult::kAdmitted;
+}
+
+TxId Mempool::EvictRandom() {
+  while (!ring_.empty()) {
+    const size_t slot = rng_->NextBelow(ring_.size());
+    const auto [id, signer] = ring_[slot];
+    ring_[slot] = ring_.back();
+    ring_.pop_back();
+    if (gone_.erase(id) > 0) {
+      continue;  // stale slot: already taken/expired/evicted
+    }
+    // Live victim: mark it a zombie so TakeReady skips its queue entry.
+    zombies_.insert(id);
+    ReleaseSigner(signer);
+    --live_count_;
+    ++evictions_;
+    return id;
+  }
+  return kInvalidTx;
+}
+
+void Mempool::CompactRingIfNeeded() {
+  if (ring_.size() < 64 || ring_.size() < 2 * live_count_) {
+    return;
+  }
+  std::vector<std::pair<TxId, uint32_t>> compacted;
+  compacted.reserve(live_count_);
+  for (const auto& [id, signer] : ring_) {
+    if (gone_.erase(id) > 0) {
+      continue;
+    }
+    compacted.emplace_back(id, signer);
+  }
+  ring_ = std::move(compacted);
+}
+
+void Mempool::NoteGone(TxId id) {
+  if (config_.evict_on_full) {
+    gone_.insert(id);
+  }
+}
+
+void Mempool::ReleaseSigner(uint32_t signer) {
+  if (config_.per_signer_cap == 0) {
+    return;
+  }
+  const auto it = signer_counts_.find(signer);
+  if (it != signer_counts_.end() && it->second > 0) {
+    --it->second;
+  }
+}
+
+void Mempool::Requeue(const std::vector<TxId>& txs, const std::vector<uint32_t>& signers,
+                      const std::vector<SimTime>& ingress,
+                      const std::vector<SimTime>& ready) {
+  for (size_t i = 0; i < txs.size(); ++i) {
+    if (config_.per_signer_cap > 0) {
+      ++signer_counts_[signers[i]];
+    }
+    queue_.push(Entry{ready[i], ingress[i], txs[i], signers[i]});
+    if (config_.evict_on_full) {
+      ring_.emplace_back(txs[i], signers[i]);
+    }
+    ++live_count_;
+  }
+}
+
+}  // namespace diablo

@@ -1,0 +1,169 @@
+// The distributed memory pool.
+//
+// Per-node mempool replicas would cost O(nodes × transactions) memory at
+// this scale, so the pool is modelled once, logically shared: each entry
+// carries a readiness time — its ingress time plus a sampled gossip delay —
+// before which no proposer can include it. Admission control (global and
+// per-signer caps, TTL expiry, geth-style eviction: the policies that
+// differentiate Quorum, Diem, geth and Solana under load, §6.3/§6.5) runs
+// at the ingress node.
+#ifndef SRC_CHAIN_MEMPOOL_H_
+#define SRC_CHAIN_MEMPOOL_H_
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/chain/tx.h"
+#include "src/support/rng.h"
+#include "src/support/time.h"
+
+namespace diablo {
+
+struct MempoolConfig {
+  // Maximum transactions in the pool; 0 = unbounded (Quorum/IBFT's design
+  // of never dropping a client request).
+  size_t global_cap = 0;
+  // Maximum pending transactions per signer; 0 = none. Diem: 100 (§5.2).
+  size_t per_signer_cap = 0;
+  // Pending lifetime before expiry; 0 = forever. Solana rejects transactions
+  // whose recent-blockhash is older than ~120 s (§5.2).
+  SimDuration ttl = 0;
+  // When the pool is full, evict a random pending transaction to admit the
+  // newcomer (geth replaces by price; price and age are uncorrelated here,
+  // so a uniform victim is the equivalent model) instead of rejecting it.
+  bool evict_on_full = false;
+};
+
+enum class AdmitResult : uint8_t {
+  kAdmitted = 0,
+  kPoolFull,
+  kSignerCapReached,
+};
+
+class Mempool {
+ public:
+  // `rng` is required only when config.evict_on_full is set.
+  explicit Mempool(MempoolConfig config, Rng* rng = nullptr)
+      : config_(config), rng_(rng) {}
+
+  // Attempts to admit a transaction that arrived at `ingress_time` and
+  // becomes visible to proposers at `ready_time`. With evict_on_full, a
+  // successful admission into a full pool sets *evicted to the victim
+  // (kInvalidTx otherwise); the caller owns reporting it dropped.
+  AdmitResult Add(TxId id, uint32_t signer, SimTime ingress_time, SimTime ready_time,
+                  TxId* evicted = nullptr);
+
+  // Pops up to `max_txs` transactions that are ready at `now` and whose
+  // cumulative gas / wire size stay within `gas_budget` / `byte_budget`
+  // (0 = unlimited), oldest first. Expired entries encountered along the
+  // way are appended to *expired. `gas_of` / `bytes_of` map TxId to cost.
+  template <typename GasFn, typename BytesFn>
+  std::vector<TxId> TakeReady(SimTime now, int64_t gas_budget, int64_t byte_budget,
+                              size_t max_txs, GasFn gas_of, BytesFn bytes_of,
+                              std::vector<TxId>* expired);
+
+  // Returns transactions to the pool (leader failure / fork), preserving
+  // their readiness times.
+  void Requeue(const std::vector<TxId>& txs, const std::vector<uint32_t>& signers,
+               const std::vector<SimTime>& ingress, const std::vector<SimTime>& ready);
+
+  size_t size() const { return live_count_; }
+  uint64_t admitted() const { return admitted_; }
+  uint64_t rejected() const { return rejected_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    SimTime ready;
+    SimTime ingress;
+    TxId id;
+    uint32_t signer;
+    bool operator>(const Entry& other) const {
+      if (ready != other.ready) {
+        return ready > other.ready;
+      }
+      return id > other.id;
+    }
+  };
+
+  void ReleaseSigner(uint32_t signer);
+  // Removes one uniformly random live transaction; returns it.
+  TxId EvictRandom();
+  void CompactRingIfNeeded();
+  void NoteGone(TxId id);
+
+  MempoolConfig config_;
+  Rng* rng_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  std::unordered_map<uint32_t, uint32_t> signer_counts_;
+  // Random-victim support: candidate ring of (id, signer) plus the set of
+  // ids that left the pool (taken/expired/evicted) but may still appear in
+  // the ring, and the subset evicted while still queued.
+  std::vector<std::pair<TxId, uint32_t>> ring_;
+  std::unordered_set<TxId> gone_;
+  std::unordered_set<TxId> zombies_;
+  size_t live_count_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+template <typename GasFn, typename BytesFn>
+std::vector<TxId> Mempool::TakeReady(SimTime now, int64_t gas_budget, int64_t byte_budget,
+                                     size_t max_txs, GasFn gas_of, BytesFn bytes_of,
+                                     std::vector<TxId>* expired) {
+  std::vector<TxId> taken;
+  int64_t gas = 0;
+  int64_t bytes = 0;
+  while (!queue_.empty() && taken.size() < max_txs) {
+    const Entry& top = queue_.top();
+    if (zombies_.erase(top.id) > 0) {
+      queue_.pop();  // evicted earlier; already accounted
+      continue;
+    }
+    if (top.ready > now) {
+      break;
+    }
+    if (config_.ttl > 0 && now - top.ingress > config_.ttl) {
+      expired->push_back(top.id);
+      NoteGone(top.id);
+      ReleaseSigner(top.signer);
+      --live_count_;
+      queue_.pop();
+      continue;
+    }
+    const int64_t tx_gas = gas_of(top.id);
+    const int64_t tx_bytes = bytes_of(top.id);
+    if (gas_budget > 0 && gas + tx_gas > gas_budget && !taken.empty()) {
+      break;
+    }
+    if (byte_budget > 0 && bytes + tx_bytes > byte_budget && !taken.empty()) {
+      break;
+    }
+    if (gas_budget > 0 && tx_gas > gas_budget && taken.empty()) {
+      // A single transaction over the whole budget can never be included;
+      // treat as expired so it does not wedge the queue head.
+      expired->push_back(top.id);
+      NoteGone(top.id);
+      ReleaseSigner(top.signer);
+      --live_count_;
+      queue_.pop();
+      continue;
+    }
+    gas += tx_gas;
+    bytes += tx_bytes;
+    taken.push_back(top.id);
+    NoteGone(top.id);
+    ReleaseSigner(top.signer);
+    --live_count_;
+    queue_.pop();
+  }
+  return taken;
+}
+
+}  // namespace diablo
+
+#endif  // SRC_CHAIN_MEMPOOL_H_

@@ -1,0 +1,186 @@
+#include "src/chain/node.h"
+
+#include <algorithm>
+
+namespace diablo {
+
+ChainContext::ChainContext(Simulation* sim, Network* net, DeploymentConfig deployment,
+                           ChainParams params)
+    : sim_(sim),
+      net_(net),
+      deployment_(std::move(deployment)),
+      params_(std::move(params)),
+      rng_(sim->ForkRng()),
+      oracle_(params_.dialect),
+      mempool_(params_.mempool, &rng_) {
+  hosts_.reserve(static_cast<size_t>(deployment_.node_count));
+  for (int i = 0; i < deployment_.node_count; ++i) {
+    hosts_.push_back(net_->AddHost(deployment_.NodeRegion(i)));
+  }
+  // Pairwise delays for consensus votes (small fixed-size messages).
+  vote_delays_ = std::make_unique<PairwiseDelays>(net_, hosts_, /*message_bytes=*/256);
+  exec_model_.gas_per_second_per_vcpu = params_.gas_per_sec_per_vcpu;
+}
+
+double ChainContext::RecentArrivalRate(SimTime now) const {
+  const size_t second = static_cast<size_t>(now / kSecond);
+  // Use the last completed window; the current one is still filling.
+  if (second == 0 || second - 1 >= arrivals_per_second_.size()) {
+    return 0.0;
+  }
+  return static_cast<double>(arrivals_per_second_[second - 1]);
+}
+
+bool ChainContext::SubmitAtEndpoint(TxId id, int endpoint, SimTime arrival) {
+  Transaction& tx = txs_.at(id);
+  const size_t second = static_cast<size_t>(arrival / kSecond);
+  if (second >= arrivals_per_second_.size()) {
+    arrivals_per_second_.resize(second + 1, 0);
+  }
+  ++arrivals_per_second_[second];
+  // Gossip readiness: half a batching interval on average, plus the one-way
+  // delay from the ingress node to a representative peer.
+  const int peer = static_cast<int>(rng_.NextBelow(static_cast<uint64_t>(node_count())));
+  SimDuration gossip = net_->DelaySample(hosts_[static_cast<size_t>(endpoint)],
+                                         hosts_[static_cast<size_t>(peer)],
+                                         tx.size_bytes + 64);
+  if (gossip == kUnreachable) {
+    gossip = Milliseconds(500);
+  }
+  const SimDuration batch_wait = static_cast<SimDuration>(
+      rng_.NextBelow(static_cast<uint64_t>(params_.gossip_batch_interval) + 1));
+  const SimTime ready = arrival + batch_wait + gossip;
+
+  TxId evicted = kInvalidTx;
+  const AdmitResult result = mempool_.Add(id, tx.account, arrival, ready, &evicted);
+  if (evicted != kInvalidTx) {
+    DropTx(evicted);
+  }
+  if (result != AdmitResult::kAdmitted) {
+    DropTx(id);
+    return false;
+  }
+  tx.phase = TxPhase::kSubmitted;
+  return true;
+}
+
+ChainContext::BuiltBlock ChainContext::BuildBlock(SimTime now, int proposer) {
+  (void)proposer;  // the shared-pool model makes drafting proposer-agnostic
+  BuiltBlock built;
+
+  // Congestion model: a growing pending set erodes the usable block
+  // capacity by threshold / (threshold + backlog) — the node spends its
+  // time shuffling queues instead of packing blocks (§6.3). With a small
+  // backlog the factor is ~1; chains with threshold 0 are immune.
+  size_t max_txs = params_.max_block_txs;
+  int64_t gas_limit = params_.block_gas_limit;
+  if (params_.ingress_capacity > 0) {
+    const double rate = RecentArrivalRate(now);
+    const double factor =
+        params_.ingress_capacity / (params_.ingress_capacity + rate);
+    max_txs = std::max<size_t>(1, static_cast<size_t>(static_cast<double>(max_txs) * factor));
+  }
+  if (params_.congestion_threshold > 0 && mempool_.size() > 0) {
+    const double factor = static_cast<double>(params_.congestion_threshold) /
+                          static_cast<double>(params_.congestion_threshold + mempool_.size());
+    max_txs = std::max<size_t>(1, static_cast<size_t>(static_cast<double>(max_txs) * factor));
+    if (gas_limit > 0) {
+      // Never shrink below one worst-case transaction so the head of the
+      // queue cannot wedge.
+      gas_limit = std::max<int64_t>(
+          params_.block_gas_limit / 100,
+          static_cast<int64_t>(static_cast<double>(gas_limit) * factor));
+    }
+  }
+
+  std::vector<TxId> expired;
+  built.txs = mempool_.TakeReady(
+      now, gas_limit, params_.max_block_bytes, max_txs,
+      [this](TxId id) { return txs_.at(id).gas; },
+      [this](TxId id) { return static_cast<int64_t>(txs_.at(id).size_bytes); }, &expired);
+  for (const TxId id : expired) {
+    ++stats_.txs_expired;
+    DropTx(id);
+  }
+
+  for (const TxId id : built.txs) {
+    const Transaction& tx = txs_.at(id);
+    built.gas += tx.gas;
+    built.bytes += tx.size_bytes;
+  }
+
+  // Proposer work: scan of the pending set, block execution, signature
+  // verification.
+  built.build_time = PoolScanTime() + ExecAndVerifyTime(built.gas, built.txs.size());
+  return built;
+}
+
+SimDuration ChainContext::PoolScanTime() const {
+  const double pending = static_cast<double>(mempool_.size());
+  const double linear =
+      static_cast<double>(params_.proposal_overhead_per_pending_tx) * pending;
+  const double kilo = pending / 1000.0;
+  const double quadratic =
+      static_cast<double>(params_.proposal_overhead_quadratic) * kilo * kilo;
+  return static_cast<SimDuration>(linear + quadratic);
+}
+
+SimDuration ChainContext::ExecAndVerifyTime(int64_t gas, size_t tx_count) const {
+  const int vcpus = deployment_.machine.vcpus;
+  const SimDuration exec = exec_model_.ExecTime(gas, vcpus);
+  const SimDuration verify =
+      CostOf(params_.sig_scheme).verify * static_cast<SimDuration>(tx_count) / vcpus;
+  return exec + verify;
+}
+
+void ChainContext::FinalizeBlock(uint64_t height, int proposer, BuiltBlock&& built,
+                                 SimTime proposed_at, SimTime final_time) {
+  ++stats_.blocks_produced;
+  if (built.txs.empty()) {
+    ++stats_.empty_blocks;
+  }
+
+  Block block;
+  block.height = height;
+  block.proposer = static_cast<uint32_t>(proposer);
+  block.gas_used = built.gas;
+  block.bytes = built.bytes;
+  block.proposed_at = proposed_at;
+  block.finalized_at = final_time;
+  block.txs = std::move(built.txs);
+
+  for (const TxId id : block.txs) {
+    Transaction& tx = txs_.at(id);
+    // Client observation: collocated secondaries learn of the commit on the
+    // next head notification.
+    const SimDuration observe =
+        Milliseconds(1) + static_cast<SimDuration>(rng_.NextBelow(
+                              static_cast<uint64_t>(params_.client_poll_interval) + 1));
+    const SimTime commit_time = final_time + observe;
+    if (tx.exec_status == VmStatus::kOk) {
+      tx.phase = TxPhase::kCommitted;
+      ++stats_.txs_committed;
+    } else {
+      tx.phase = TxPhase::kAborted;
+    }
+    tx.commit_time = commit_time;
+    if (on_tx_complete) {
+      on_tx_complete(id);
+    }
+  }
+  ledger_.Append(std::move(block));
+}
+
+void ChainContext::DropTx(TxId id, VmStatus reason) {
+  Transaction& tx = txs_.at(id);
+  tx.phase = TxPhase::kDropped;
+  if (reason != VmStatus::kOk) {
+    tx.exec_status = reason;
+  }
+  ++stats_.txs_dropped;
+  if (on_tx_complete) {
+    on_tx_complete(id);
+  }
+}
+
+}  // namespace diablo

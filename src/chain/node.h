@@ -1,0 +1,199 @@
+// ChainContext: everything one simulated blockchain deployment owns — the
+// node hosts, the shared transaction arena, the distributed mempool, the
+// ledger — plus the helpers consensus engines use to build, finalize and
+// account blocks. ConsensusEngine is the strategy interface the six
+// protocol simulators implement.
+#ifndef SRC_CHAIN_NODE_H_
+#define SRC_CHAIN_NODE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chain/block.h"
+#include "src/chain/execution.h"
+#include "src/chain/mempool.h"
+#include "src/chain/tx.h"
+#include "src/chain/vote_round.h"
+#include "src/crypto/signature.h"
+#include "src/net/deployment.h"
+#include "src/net/network.h"
+#include "src/sim/simulation.h"
+
+namespace diablo {
+
+// Full parameter sheet of one blockchain. Values for the six evaluated
+// chains live in src/chains/params.cc with calibration notes.
+struct ChainParams {
+  std::string name;            // "quorum"
+  std::string consensus_name;  // "IBFT" (Table 4)
+  std::string property;        // "det." | "prob." | "eventual" (Table 4)
+  std::string vm_name;         // "geth" | "AVM" | "MoveVM" | "eBPF" (Table 4)
+  std::string dapp_language;   // "Solidity" | "PyTeal" | "Move" (Table 4)
+  VmDialect dialect = VmDialect::kGeth;
+  SignatureScheme sig_scheme = SignatureScheme::kEcdsa;
+
+  // Block production.
+  SimDuration block_interval = Seconds(1);  // minimum period between blocks
+  int64_t block_gas_limit = 0;              // 0 = unlimited
+  int64_t max_block_bytes = 0;              // 0 = unlimited (wire-size cap)
+  size_t max_block_txs = 10000;
+  int confirmation_depth = 0;  // further blocks before a client treats it final
+
+  // Admission control.
+  MempoolConfig mempool;
+
+  // Transaction dissemination.
+  SimDuration gossip_batch_interval = Milliseconds(200);
+  int gossip_fanout = 8;
+
+  // Execution.
+  double gas_per_sec_per_vcpu = 100e6;
+
+  // Congestion collapse: when the pending pool exceeds this many
+  // transactions, effective block capacity scales by
+  // threshold / (threshold + backlog). 0 = immune (§6.3's Avalanche).
+  size_t congestion_threshold = 0;
+
+  // Ingress overload: request admission burns node CPU, so effective block
+  // capacity also scales by capacity / (capacity + arrival_rate) when this
+  // is non-zero (requests per second the RPC layer absorbs gracefully).
+  double ingress_capacity = 0;
+
+  // Leader-based protocols (IBFT / HotStuff).
+  SimDuration round_timeout = Seconds(10);
+  SimDuration proposal_overhead_per_pending_tx = 0;  // pool-scan cost pre-proposal
+  // Superlinear pool-management cost: charged per (pending/1000)^2. Models
+  // the queue-shuffling collapse of a never-drop pool under sustained
+  // overload (§6.3).
+  SimDuration proposal_overhead_quadratic = 0;
+
+  // Algorand.
+  double committee_expected = 0;
+  SimDuration step_timeout = 0;
+
+  // Avalanche.
+  int sample_k = 20;
+  int beta = 15;
+  double alpha_fraction = 0.8;
+
+  // Solana.
+  SimDuration slot_duration = Milliseconds(400);
+  int leader_window_slots = 4;
+
+  // Client-side commit observation (websocket push / polling granularity).
+  SimDuration client_poll_interval = Milliseconds(500);
+};
+
+// Per-run counters a chain reports besides per-transaction phases.
+struct ChainStats {
+  uint64_t blocks_produced = 0;
+  uint64_t empty_blocks = 0;
+  uint64_t view_changes = 0;
+  uint64_t txs_committed = 0;
+  uint64_t txs_dropped = 0;
+  uint64_t txs_expired = 0;
+};
+
+class ChainContext {
+ public:
+  ChainContext(Simulation* sim, Network* net, DeploymentConfig deployment,
+               ChainParams params);
+
+  ChainContext(const ChainContext&) = delete;
+  ChainContext& operator=(const ChainContext&) = delete;
+
+  // --- setup -------------------------------------------------------------
+  Simulation* sim() { return sim_; }
+  Network* net() { return net_; }
+  const DeploymentConfig& deployment() const { return deployment_; }
+  const ChainParams& params() const { return params_; }
+  int node_count() const { return deployment_.node_count; }
+  const std::vector<HostId>& hosts() const { return hosts_; }
+  const PairwiseDelays& vote_delays() const { return *vote_delays_; }
+  Rng& rng() { return rng_; }
+  CostOracle& oracle() { return oracle_; }
+
+  TxStore& txs() { return txs_; }
+  Mempool& mempool() { return mempool_; }
+  Ledger& ledger() { return ledger_; }
+  ChainStats& stats() { return stats_; }
+  const ChainStats& stats() const { return stats_; }
+
+  // --- submission path (called by the diablo core) -----------------------
+  // Handles a transaction arriving at endpoint node `endpoint` at time
+  // `arrival`. Applies admission control and schedules gossip readiness.
+  // Returns false when the transaction was rejected.
+  bool SubmitAtEndpoint(TxId id, int endpoint, SimTime arrival);
+
+  // --- engine helpers -----------------------------------------------------
+  struct BuiltBlock {
+    std::vector<TxId> txs;
+    int64_t gas = 0;
+    int64_t bytes = kBlockHeaderBytes;
+    // Proposer-side preparation: pool scan, execution, signature checks.
+    SimDuration build_time = 0;
+  };
+
+  // Drafts a block at `now` from the proposer's view of the pool, honoring
+  // gas/count limits and the congestion model.
+  BuiltBlock BuildBlock(SimTime now, int proposer);
+
+  // Records the block and schedules commit notifications for its
+  // transactions at `final_time` (plus client observation delay).
+  void FinalizeBlock(uint64_t height, int proposer, BuiltBlock&& built,
+                     SimTime proposed_at, SimTime final_time);
+
+  void DropTx(TxId id, VmStatus reason = VmStatus::kOk);
+
+  // Submissions seen in the most recent completed one-second window.
+  double RecentArrivalRate(SimTime now) const;
+
+  // Time for one node to execute a block of `gas` and verify `tx_count`
+  // signatures.
+  SimDuration ExecAndVerifyTime(int64_t gas, size_t tx_count) const;
+
+  // Leader-side pending-set management cost at the current pool size.
+  SimDuration PoolScanTime() const;
+
+  // Completion hook: fired once per transaction when it commits or drops.
+  std::function<void(TxId)> on_tx_complete;
+
+ private:
+  Simulation* sim_;
+  Network* net_;
+  DeploymentConfig deployment_;
+  ChainParams params_;
+  Rng rng_;
+  std::vector<HostId> hosts_;
+  std::unique_ptr<PairwiseDelays> vote_delays_;
+  CostOracle oracle_;
+  TxStore txs_;
+  Mempool mempool_;
+  Ledger ledger_;
+  ChainStats stats_;
+  ExecutionModel exec_model_;
+  std::vector<uint32_t> arrivals_per_second_;
+};
+
+// Strategy interface: each consensus protocol schedules its own rounds
+// against the context's simulation.
+class ConsensusEngine {
+ public:
+  explicit ConsensusEngine(ChainContext* ctx) : ctx_(ctx) {}
+  virtual ~ConsensusEngine() = default;
+
+  ConsensusEngine(const ConsensusEngine&) = delete;
+  ConsensusEngine& operator=(const ConsensusEngine&) = delete;
+
+  // Begins block production; called once after the context is constructed.
+  virtual void Start() = 0;
+
+ protected:
+  ChainContext* ctx_;
+};
+
+}  // namespace diablo
+
+#endif  // SRC_CHAIN_NODE_H_

@@ -1,0 +1,82 @@
+#include "src/chain/vote_round.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diablo {
+
+PairwiseDelays::PairwiseDelays(Network* net, const std::vector<HostId>& hosts,
+                               int64_t message_bytes)
+    : n_(hosts.size()), delays_(n_ * n_, 0) {
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < n_; ++j) {
+      delays_[i * n_ + j] =
+          i == j ? 0 : net->DelaySample(hosts[i], hosts[j], message_bytes);
+    }
+  }
+}
+
+SimDuration QuorumArrival(const PairwiseDelays& delays,
+                          const std::vector<SimDuration>& send_times, size_t receiver,
+                          size_t quorum, double hop_scale) {
+  std::vector<SimDuration> arrivals;
+  arrivals.reserve(send_times.size());
+  for (size_t j = 0; j < send_times.size(); ++j) {
+    if (send_times[j] == kUnreachable) {
+      continue;
+    }
+    const SimDuration hop = delays.at(j, receiver);
+    if (hop == kUnreachable) {
+      continue;
+    }
+    arrivals.push_back(send_times[j] +
+                       static_cast<SimDuration>(static_cast<double>(hop) * hop_scale));
+  }
+  if (arrivals.size() < quorum || quorum == 0) {
+    return kUnreachable;
+  }
+  std::nth_element(arrivals.begin(), arrivals.begin() + static_cast<long>(quorum - 1),
+                   arrivals.end());
+  return arrivals[quorum - 1];
+}
+
+std::vector<SimDuration> QuorumArrivalAll(const PairwiseDelays& delays,
+                                          const std::vector<SimDuration>& send_times,
+                                          size_t quorum, double hop_scale) {
+  std::vector<SimDuration> result(send_times.size(), kUnreachable);
+  for (size_t i = 0; i < send_times.size(); ++i) {
+    result[i] = QuorumArrival(delays, send_times, i, quorum, hop_scale);
+  }
+  return result;
+}
+
+double GossipHopScale(int n) {
+  if (n <= 25) {
+    return 1.0;
+  }
+  return 1.0 + std::log2(static_cast<double>(n) / 25.0);
+}
+
+int ByzantineQuorum(int n) {
+  const int f = (n - 1) / 3;
+  return 2 * f + 1;
+}
+
+SimDuration MedianDelay(const std::vector<SimDuration>& delays) {
+  std::vector<SimDuration> reachable;
+  reachable.reserve(delays.size());
+  for (const SimDuration d : delays) {
+    if (d != kUnreachable) {
+      reachable.push_back(d);
+    }
+  }
+  if (reachable.empty()) {
+    return kUnreachable;
+  }
+  const size_t mid = reachable.size() / 2;
+  std::nth_element(reachable.begin(), reachable.begin() + static_cast<long>(mid),
+                   reachable.end());
+  return reachable[mid];
+}
+
+}  // namespace diablo

@@ -1,0 +1,63 @@
+// Aggregate vote-round arithmetic.
+//
+// A 200-validator IBFT deployment exchanges ~40,000 PREPARE messages per
+// block; scheduling each as a discrete event would dominate the simulation.
+// Because vote messages are small and fixed-size, their pairwise delays are
+// precomputed once and each round is reduced to order statistics: "when has
+// node i received votes from a quorum of nodes, given when each node
+// started voting?".
+#ifndef SRC_CHAIN_VOTE_ROUND_H_
+#define SRC_CHAIN_VOTE_ROUND_H_
+
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/support/time.h"
+
+namespace diablo {
+
+// One-way delays for fixed-size messages between every pair of hosts,
+// sampled once at construction (jitter baked in).
+class PairwiseDelays {
+ public:
+  PairwiseDelays(Network* net, const std::vector<HostId>& hosts, int64_t message_bytes);
+
+  SimDuration at(size_t from, size_t to) const { return delays_[from * n_ + to]; }
+  size_t size() const { return n_; }
+
+ private:
+  size_t n_;
+  std::vector<SimDuration> delays_;
+};
+
+// Time at which `receiver` holds votes from `quorum` distinct senders, when
+// sender j starts broadcasting its vote at send_times[j] (kUnreachable = that
+// sender never votes). Senders include the receiver itself (self-votes are
+// instant). `hop_scale` multiplies each vote's network delay: on large
+// deployments votes relay through a bounded-degree p2p mesh instead of
+// travelling one hop (see GossipHopScale). Returns kUnreachable when fewer
+// than `quorum` senders vote.
+SimDuration QuorumArrival(const PairwiseDelays& delays,
+                          const std::vector<SimDuration>& send_times, size_t receiver,
+                          size_t quorum, double hop_scale = 1.0);
+
+// QuorumArrival for every receiver at once.
+std::vector<SimDuration> QuorumArrivalAll(const PairwiseDelays& delays,
+                                          const std::vector<SimDuration>& send_times,
+                                          size_t quorum, double hop_scale = 1.0);
+
+// Expected relay hops for flooding a vote through a p2p mesh of n nodes
+// with ~25 direct peers: 1 + log2(n / 25), at least 1.
+double GossipHopScale(int n);
+
+// Smallest f such that n >= 3f + 1, i.e. the Byzantine fault tolerance of an
+// n-node deployment; quorum is 2f + 1.
+int ByzantineQuorum(int n);
+
+// Median of a delay vector, ignoring kUnreachable entries; kUnreachable when
+// every entry is unreachable.
+SimDuration MedianDelay(const std::vector<SimDuration>& delays);
+
+}  // namespace diablo
+
+#endif  // SRC_CHAIN_VOTE_ROUND_H_

@@ -1,0 +1,25 @@
+// Calibrated parameter sheets for the six evaluated blockchains (§5.2,
+// Table 4). Every number is either taken from the paper / public protocol
+// documentation (cited inline) or marked "calibrated" — tuned so the §6
+// result shapes hold on this repository's simulators.
+#ifndef SRC_CHAINS_PARAMS_H_
+#define SRC_CHAINS_PARAMS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/chain/node.h"
+
+namespace diablo {
+
+// Names: "algorand", "avalanche", "diem", "ethereum", "quorum", "solana".
+ChainParams GetChainParams(std::string_view chain);
+
+// All six, in the paper's Table 4 order.
+std::vector<ChainParams> AllChainParams();
+
+const std::vector<std::string>& AllChainNames();
+
+}  // namespace diablo
+
+#endif  // SRC_CHAINS_PARAMS_H_

@@ -1,0 +1,25 @@
+#include "src/chains/registry.h"
+
+namespace diablo {
+
+const std::vector<ClaimedPerformance>& ClaimedFigures() {
+  // Table 1 of the paper: claimed versus observed conditions.
+  static const std::vector<ClaimedPerformance>* const kClaims =
+      new std::vector<ClaimedPerformance>{
+          {"algorand", "1K-46K TPS", "2.5-4.5 s", "?", "testnet"},
+          {"avalanche", "4.5K TPS", "2 s", "?", "datacenter"},
+          {"solana", "200K TPS", "<1 s", "150 nodes", "datacenter"},
+      };
+  return *kClaims;
+}
+
+const ClaimedPerformance* FindClaim(std::string_view chain) {
+  for (const ClaimedPerformance& claim : ClaimedFigures()) {
+    if (claim.chain == chain) {
+      return &claim;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace diablo

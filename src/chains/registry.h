@@ -1,0 +1,31 @@
+// Published metadata about the evaluated blockchains: Table 4's
+// characteristics come from the ChainParams sheets; Table 1's claimed
+// performance figures are recorded here with their paper citations.
+#ifndef SRC_CHAINS_REGISTRY_H_
+#define SRC_CHAINS_REGISTRY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace diablo {
+
+// A publicly claimed performance figure (Table 1, left).
+struct ClaimedPerformance {
+  std::string chain;
+  std::string claimed_throughput;  // as published, e.g. "1K-46K TPS"
+  std::string claimed_latency;
+  std::string claimed_setup;       // "?" when unspecified — the paper's point
+  // Best configuration the paper observed (Table 1, right, "setup" column).
+  std::string observed_setup;
+};
+
+// Table 1 rows.
+const std::vector<ClaimedPerformance>& ClaimedFigures();
+
+// Returns claimed row for a chain or nullptr.
+const ClaimedPerformance* FindClaim(std::string_view chain);
+
+}  // namespace diablo
+
+#endif  // SRC_CHAINS_REGISTRY_H_

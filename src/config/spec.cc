@@ -1,0 +1,209 @@
+#include "src/config/spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/strings.h"
+
+namespace diablo {
+namespace {
+
+std::vector<std::string> StringList(const YamlNode& node) {
+  std::vector<std::string> out;
+  if (node.IsList()) {
+    for (const YamlNode& item : node.items) {
+      out.push_back(item.scalar);
+    }
+  } else if (node.IsScalar()) {
+    out.push_back(node.scalar);
+  }
+  return out;
+}
+
+bool ParseBehavior(const YamlNode& node, ClientBehavior* behavior, std::string* error) {
+  const YamlNode* interaction = node.Find("interaction");
+  if (interaction == nullptr) {
+    *error = "behavior missing 'interaction'";
+    return false;
+  }
+  if (interaction->tag == "invoke") {
+    behavior->interaction = "invoke";
+    const YamlNode* contract = interaction->Find("contract");
+    if (contract != nullptr) {
+      // The contract sample set: { sample: !contract { name: "dota" } }.
+      const YamlNode* sample = contract->Find("sample");
+      if (sample != nullptr && sample->tag == "contract") {
+        behavior->contract = sample->GetString("name", "");
+      } else if (contract->IsScalar()) {
+        behavior->contract = contract->scalar;
+      }
+    }
+    const YamlNode* function = interaction->Find("function");
+    if (function != nullptr) {
+      if (!ParseFunctionRef(function->scalar, &behavior->function, &behavior->args)) {
+        *error = "malformed function reference: " + function->scalar;
+        return false;
+      }
+    }
+    const YamlNode* from = interaction->Find("from");
+    if (from != nullptr) {
+      const YamlNode* sample = from->Find("sample");
+      if (sample != nullptr && sample->tag == "account") {
+        behavior->accounts = static_cast<int>(sample->GetInt("number", 0));
+      }
+    }
+  } else if (interaction->tag == "transfer" || interaction->IsNull() ||
+             interaction->IsScalar()) {
+    behavior->interaction = "transfer";
+    if (interaction->IsMap()) {
+      behavior->transfer_amount = interaction->GetInt("amount", 1);
+    }
+  } else {
+    *error = "unknown interaction tag: !" + interaction->tag;
+    return false;
+  }
+
+  const YamlNode* load = node.Find("load");
+  if (load == nullptr || !load->IsMap()) {
+    *error = "behavior missing 'load' map";
+    return false;
+  }
+  for (const auto& [key, value] : load->entries) {
+    LoadPoint point;
+    if (!ParseDouble(key, &point.at_seconds) || !value.AsDouble(&point.tps)) {
+      *error = "malformed load point: " + key;
+      return false;
+    }
+    behavior->load.push_back(point);
+  }
+  std::sort(behavior->load.begin(), behavior->load.end(),
+            [](const LoadPoint& a, const LoadPoint& b) {
+              return a.at_seconds < b.at_seconds;
+            });
+  return true;
+}
+
+}  // namespace
+
+bool ParseFunctionRef(std::string_view text, std::string* name,
+                      std::vector<int64_t>* args) {
+  name->clear();
+  args->clear();
+  const size_t open = text.find('(');
+  if (open == std::string_view::npos) {
+    *name = Trim(text);
+    return !name->empty();
+  }
+  if (text.back() != ')') {
+    return false;
+  }
+  *name = Trim(text.substr(0, open));
+  const std::string_view inner = text.substr(open + 1, text.size() - open - 2);
+  if (Trim(inner).empty()) {
+    return !name->empty();
+  }
+  for (const std::string& part : Split(inner, ',')) {
+    int64_t value = 0;
+    if (!ParseInt64(part, &value)) {
+      return false;
+    }
+    args->push_back(value);
+  }
+  return !name->empty();
+}
+
+int WorkloadSpec::TotalAccounts() const {
+  int total = 0;
+  for (const WorkloadGroup& group : groups) {
+    for (const ClientBehavior& behavior : group.behaviors) {
+      total = std::max(total, behavior.accounts);
+    }
+  }
+  return total;
+}
+
+Trace WorkloadSpec::ToTrace() const {
+  Trace trace;
+  trace.name = "spec";
+  for (const WorkloadGroup& group : groups) {
+    for (const ClientBehavior& behavior : group.behaviors) {
+      if (behavior.load.empty()) {
+        continue;
+      }
+      const double end = behavior.load.back().at_seconds;
+      if (trace.tps.size() < static_cast<size_t>(end)) {
+        trace.tps.resize(static_cast<size_t>(end), 0.0);
+      }
+      for (size_t i = 0; i + 1 < behavior.load.size(); ++i) {
+        const LoadPoint& from = behavior.load[i];
+        const LoadPoint& to = behavior.load[i + 1];
+        for (size_t s = static_cast<size_t>(from.at_seconds);
+             s < static_cast<size_t>(to.at_seconds) && s < trace.tps.size(); ++s) {
+          trace.tps[s] += from.tps * group.clients;
+        }
+      }
+    }
+  }
+  return trace;
+}
+
+std::string WorkloadSpec::PrimaryContract() const {
+  for (const WorkloadGroup& group : groups) {
+    for (const ClientBehavior& behavior : group.behaviors) {
+      if (behavior.interaction == "invoke" && !behavior.contract.empty()) {
+        return behavior.contract;
+      }
+    }
+  }
+  return std::string();
+}
+
+SpecResult ParseWorkloadSpec(std::string_view yaml_text) {
+  SpecResult result;
+  const YamlResult yaml = ParseYaml(yaml_text);
+  if (!yaml.ok) {
+    result.error = yaml.error;
+    return result;
+  }
+  const YamlNode* workloads = yaml.root.Find("workloads");
+  if (workloads == nullptr || !workloads->IsList()) {
+    result.error = "missing 'workloads' list";
+    return result;
+  }
+  for (const YamlNode& item : workloads->items) {
+    WorkloadGroup group;
+    group.clients = static_cast<int>(item.GetInt("number", 1));
+    const YamlNode* client = item.Find("client");
+    if (client == nullptr || !client->IsMap()) {
+      result.error = "workload missing 'client'";
+      return result;
+    }
+    const YamlNode* location = client->Find("location");
+    if (location != nullptr) {
+      const YamlNode* sample = location->Find("sample");
+      group.locations = StringList(sample != nullptr ? *sample : *location);
+    }
+    const YamlNode* view = client->Find("view");
+    if (view != nullptr) {
+      const YamlNode* sample = view->Find("sample");
+      group.endpoints = StringList(sample != nullptr ? *sample : *view);
+    }
+    const YamlNode* behaviors = client->Find("behavior");
+    if (behaviors == nullptr || !behaviors->IsList()) {
+      result.error = "client missing 'behavior' list";
+      return result;
+    }
+    for (const YamlNode& entry : behaviors->items) {
+      ClientBehavior behavior;
+      if (!ParseBehavior(entry, &behavior, &result.error)) {
+        return result;
+      }
+      group.behaviors.push_back(std::move(behavior));
+    }
+    result.spec.groups.push_back(std::move(group));
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace diablo

@@ -1,0 +1,93 @@
+#include "src/consensus/algorand.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/crypto/sortition.h"
+
+namespace diablo {
+
+AlgorandEngine::AlgorandEngine(ChainContext* ctx)
+    : ConsensusEngine(ctx), seed_(ctx->rng().NextU64()) {}
+
+void AlgorandEngine::Start() {
+  ctx_->sim()->Schedule(ctx_->params().block_interval, [this] { Round(); });
+}
+
+void AlgorandEngine::Round() {
+  const SimTime t0 = ctx_->sim()->Now();
+  const ChainParams& params = ctx_->params();
+  const uint32_t n = static_cast<uint32_t>(ctx_->node_count());
+  const auto& hosts = ctx_->hosts();
+
+  // Sortition: proposer priority and per-step committees derive from the
+  // round seed; everyone computes the same outcome.
+  const int proposer = static_cast<int>(SelectProposer(seed_, height_, n));
+  const double expected =
+      params.committee_expected > 0
+          ? std::min<double>(params.committee_expected, static_cast<double>(n))
+          : static_cast<double>(n);
+
+  ChainContext::BuiltBlock built = ctx_->BuildBlock(t0, proposer);
+  const SimDuration build_time = built.build_time;
+
+  // Proposal dissemination by gossip; nodes wait out the proposal step
+  // timeout before soft-voting (the λ parameter of BA*).
+  const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
+      hosts[static_cast<size_t>(proposer)], hosts, built.bytes, params.gossip_fanout);
+  const SimDuration verify = ctx_->ExecAndVerifyTime(built.gas, built.txs.size());
+
+  auto vote_step = [&](uint64_t step, const std::vector<SimDuration>& start_times) {
+    const std::vector<uint32_t> committee =
+        SelectCommittee(seed_, height_, step, n, expected);
+    // BA* step timers are sequential: the soft vote fires after one λ, the
+    // certify vote after two.
+    const SimDuration step_floor =
+        params.step_timeout * static_cast<SimDuration>(step);
+    std::vector<SimDuration> senders(n, kUnreachable);
+    for (const uint32_t member : committee) {
+      const SimDuration start = start_times[member];
+      if (start != kUnreachable) {
+        // Committee members vote after their step timer or once they hold
+        // the previous step's result, whichever is later.
+        senders[member] = std::max<SimDuration>(start, step_floor);
+      }
+    }
+    // BA* thresholds sit just below 3/4 of the expected committee weight.
+    const size_t threshold = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(0.685 * static_cast<double>(committee.size()))));
+    // Votes flood through the gossip network (multi-hop on large meshes).
+    return QuorumArrivalAll(ctx_->vote_delays(), senders, threshold,
+                            GossipHopScale(static_cast<int>(n)));
+  };
+
+  std::vector<SimDuration> have_proposal(n, kUnreachable);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (bcast[i] != kUnreachable) {
+      have_proposal[i] = build_time + bcast[i] + verify;
+    }
+  }
+
+  const std::vector<SimDuration> soft = vote_step(/*step=*/1, have_proposal);
+  const std::vector<SimDuration> cert = vote_step(/*step=*/2, soft);
+
+  const SimDuration round_latency = MedianDelay(cert);
+  if (round_latency == kUnreachable) {
+    // No certification this round (committee unlucky / partitioned): retry.
+    ++ctx_->stats().view_changes;
+    ++height_;
+    ctx_->sim()->Schedule(params.step_timeout * 3, [this] { Round(); });
+    return;
+  }
+
+  // Immediate finality: Algorand does not fork with high probability.
+  const SimTime final_time = t0 + round_latency;
+  ctx_->FinalizeBlock(height_, proposer, std::move(built), t0, final_time);
+  ++height_;
+
+  const SimTime next = std::max(final_time, t0 + params.block_interval);
+  ctx_->sim()->ScheduleAt(next, [this] { Round(); });
+}
+
+}  // namespace diablo

@@ -1,0 +1,74 @@
+#include "src/consensus/hotstuff.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace diablo {
+
+void HotStuffEngine::Start() {
+  ctx_->sim()->Schedule(ctx_->params().block_interval, [this] { Round(); });
+}
+
+void HotStuffEngine::Round() {
+  const SimTime t0 = ctx_->sim()->Now();
+  const ChainParams& params = ctx_->params();
+  const int n = ctx_->node_count();
+  const int leader = static_cast<int>(round_ % static_cast<uint64_t>(n));
+  const int next_leader = static_cast<int>((round_ + 1) % static_cast<uint64_t>(n));
+  const size_t quorum = static_cast<size_t>(ByzantineQuorum(n));
+  const auto& hosts = ctx_->hosts();
+
+  // Pacemaker timeout under saturation (Diem's mempool caps keep the
+  // pending set bounded, so unlike Quorum this rarely cascades, §6.3).
+  const SimDuration pool_scan = ctx_->PoolScanTime();
+  if (pool_scan > params.round_timeout) {
+    ++ctx_->stats().view_changes;
+    ++round_;
+    ctx_->sim()->Schedule(params.round_timeout, [this] { Round(); });
+    return;
+  }
+
+  ChainContext::BuiltBlock built = ctx_->BuildBlock(t0, leader);
+  const SimDuration build_time = built.build_time;
+
+  // The leader sends the full proposal to every validator itself (star, no
+  // relay) — LibraBFT's direct broadcast. Validators verify, then vote to
+  // the next leader, which needs a 2f+1 quorum certificate.
+  const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
+      hosts[static_cast<size_t>(leader)], hosts, built.bytes, /*fanout=*/n - 1);
+  const SimDuration follower_exec = ctx_->ExecAndVerifyTime(built.gas, built.txs.size());
+  std::vector<SimDuration> received(static_cast<size_t>(n), kUnreachable);
+  for (int i = 0; i < n; ++i) {
+    if (bcast[static_cast<size_t>(i)] != kUnreachable) {
+      received[static_cast<size_t>(i)] =
+          build_time + bcast[static_cast<size_t>(i)] + follower_exec;
+    }
+  }
+  const SimDuration qc_at_next_leader = QuorumArrival(
+      ctx_->vote_delays(), received, static_cast<size_t>(next_leader), quorum);
+  if (qc_at_next_leader == kUnreachable) {
+    ++ctx_->stats().view_changes;
+    ++round_;
+    ctx_->sim()->Schedule(params.round_timeout, [this] { Round(); });
+    return;
+  }
+
+  const SimTime round_end = t0 + qc_at_next_leader;
+  pipeline_.push_back(PendingBlock{height_, leader, std::move(built), t0});
+  ++height_;
+  ++round_;
+
+  // Three-chain commit: the grandparent of the newest certified block is
+  // final.
+  while (pipeline_.size() >= 3) {
+    PendingBlock sealed = std::move(pipeline_.front());
+    pipeline_.pop_front();
+    ctx_->FinalizeBlock(sealed.height, sealed.proposer, std::move(sealed.built),
+                        sealed.proposed_at, round_end);
+  }
+
+  const SimTime next = std::max(round_end, t0 + params.block_interval);
+  ctx_->sim()->ScheduleAt(next, [this] { Round(); });
+}
+
+}  // namespace diablo

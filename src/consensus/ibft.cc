@@ -1,0 +1,74 @@
+#include "src/consensus/ibft.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace diablo {
+
+void IbftEngine::Start() {
+  ctx_->sim()->Schedule(ctx_->params().block_interval, [this] { Round(); });
+}
+
+void IbftEngine::Round() {
+  const SimTime t0 = ctx_->sim()->Now();
+  const ChainParams& params = ctx_->params();
+  const int n = ctx_->node_count();
+  const int leader = static_cast<int>((height_ + round_) % static_cast<uint64_t>(n));
+
+  // View change when the leader cannot even scan the pending set within the
+  // round timeout (saturation by a constantly high workload, §6.3). The
+  // exponential backoff mirrors IBFT's round-change timer doubling.
+  const SimDuration pool_scan = ctx_->PoolScanTime();
+  if (pool_scan > params.round_timeout) {
+    ++ctx_->stats().view_changes;
+    ++round_;
+    consecutive_failures_ = std::min(consecutive_failures_ + 1, 6);
+    const SimDuration backoff = params.round_timeout << consecutive_failures_;
+    ctx_->sim()->Schedule(backoff, [this] { Round(); });
+    return;
+  }
+  consecutive_failures_ = 0;
+
+  ChainContext::BuiltBlock built = ctx_->BuildBlock(t0, leader);
+  const SimDuration build_time = built.build_time;
+  const size_t quorum = static_cast<size_t>(ByzantineQuorum(n));
+  const auto& hosts = ctx_->hosts();
+
+  // PRE-PREPARE: the proposal reaches every validator, which re-executes it.
+  const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
+      hosts[static_cast<size_t>(leader)], hosts, built.bytes, params.gossip_fanout);
+  const SimDuration follower_exec = ctx_->ExecAndVerifyTime(built.gas, built.txs.size());
+  std::vector<SimDuration> preprepared(static_cast<size_t>(n), kUnreachable);
+  for (int i = 0; i < n; ++i) {
+    if (bcast[static_cast<size_t>(i)] != kUnreachable) {
+      preprepared[static_cast<size_t>(i)] =
+          build_time + bcast[static_cast<size_t>(i)] + follower_exec;
+    }
+  }
+
+  // PREPARE then COMMIT: all-to-all vote rounds over 2f+1 quorums; on large
+  // deployments the n^2 vote flood relays through the devp2p mesh.
+  const double hops = GossipHopScale(n);
+  const std::vector<SimDuration> prepared =
+      QuorumArrivalAll(ctx_->vote_delays(), preprepared, quorum, hops);
+  const std::vector<SimDuration> committed =
+      QuorumArrivalAll(ctx_->vote_delays(), prepared, quorum, hops);
+
+  const SimDuration round_latency = MedianDelay(committed);
+  if (round_latency == kUnreachable) {
+    ++ctx_->stats().view_changes;
+    ++round_;
+    ctx_->sim()->Schedule(params.round_timeout, [this] { Round(); });
+    return;
+  }
+
+  const SimTime final_time = t0 + round_latency;
+  ctx_->FinalizeBlock(height_, leader, std::move(built), t0, final_time);
+  ++height_;
+  round_ = 0;
+
+  const SimTime next = std::max(final_time, t0 + params.block_interval);
+  ctx_->sim()->ScheduleAt(next, [this] { Round(); });
+}
+
+}  // namespace diablo

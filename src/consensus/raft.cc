@@ -1,0 +1,53 @@
+#include "src/consensus/raft.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace diablo {
+
+void RaftEngine::Start() {
+  ctx_->sim()->Schedule(ctx_->params().block_interval, [this] { Round(); });
+}
+
+void RaftEngine::Round() {
+  const SimTime t0 = ctx_->sim()->Now();
+  const ChainParams& params = ctx_->params();
+  const int n = ctx_->node_count();
+  const size_t majority = static_cast<size_t>(n) / 2 + 1;
+  const auto& hosts = ctx_->hosts();
+
+  ChainContext::BuiltBlock built = ctx_->BuildBlock(t0, leader_);
+  const SimDuration build_time = built.build_time;
+
+  // AppendEntries: the leader streams the block to every follower and
+  // commits once a majority acknowledged.
+  const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
+      hosts[static_cast<size_t>(leader_)], hosts, built.bytes, /*fanout=*/n - 1);
+  const SimDuration follower_exec = ctx_->ExecAndVerifyTime(built.gas, built.txs.size());
+  std::vector<SimDuration> acked(static_cast<size_t>(n), kUnreachable);
+  for (int i = 0; i < n; ++i) {
+    if (bcast[static_cast<size_t>(i)] != kUnreachable) {
+      acked[static_cast<size_t>(i)] =
+          build_time + bcast[static_cast<size_t>(i)] + follower_exec;
+    }
+  }
+  const SimDuration commit = QuorumArrival(ctx_->vote_delays(), acked,
+                                           static_cast<size_t>(leader_), majority);
+  if (commit == kUnreachable) {
+    // Leader lost its majority: elect the next node and retry after an
+    // election timeout.
+    ++ctx_->stats().view_changes;
+    leader_ = (leader_ + 1) % n;
+    ctx_->sim()->Schedule(params.round_timeout, [this] { Round(); });
+    return;
+  }
+
+  const SimTime final_time = t0 + commit;
+  ctx_->FinalizeBlock(height_, leader_, std::move(built), t0, final_time);
+  ++height_;
+
+  const SimTime next = std::max(final_time, t0 + params.block_interval);
+  ctx_->sim()->ScheduleAt(next, [this] { Round(); });
+}
+
+}  // namespace diablo

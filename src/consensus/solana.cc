@@ -1,0 +1,52 @@
+#include "src/consensus/solana.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace diablo {
+
+void SolanaEngine::Start() {
+  ctx_->sim()->Schedule(ctx_->params().slot_duration, [this] { Slot(); });
+}
+
+void SolanaEngine::Slot() {
+  const SimTime t0 = ctx_->sim()->Now();
+  const ChainParams& params = ctx_->params();
+  const int n = ctx_->node_count();
+  const int leader = static_cast<int>(
+      (slot_ / static_cast<uint64_t>(params.leader_window_slots)) %
+      static_cast<uint64_t>(n));
+  const auto& hosts = ctx_->hosts();
+
+  // A partitioned leader simply skips its slots; PoH ticks on regardless.
+  if (ctx_->net()->DelaySample(hosts[static_cast<size_t>(leader)],
+                               hosts[static_cast<size_t>((leader + 1) % n)],
+                               64) == kUnreachable) {
+    ++ctx_->stats().view_changes;
+    ++slot_;
+    ctx_->sim()->ScheduleAt(t0 + params.slot_duration, [this] { Slot(); });
+    return;
+  }
+
+  ChainContext::BuiltBlock built = ctx_->BuildBlock(t0, leader);
+
+  // Turbine dissemination runs concurrently with PoH; the slot cadence does
+  // not wait for it, but client-visible finality does.
+  const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
+      hosts[static_cast<size_t>(leader)], hosts, built.bytes, params.gossip_fanout);
+  const SimDuration propagation = MedianDelay(bcast);
+
+  // Client commitment: the slot completes, then `confirmation_depth`
+  // further slots must land on top (§5.2: 30 confirmations).
+  const SimTime final_time =
+      t0 + params.slot_duration +
+      params.slot_duration * static_cast<SimDuration>(params.confirmation_depth) +
+      (propagation == kUnreachable ? Seconds(1) : propagation);
+  ctx_->FinalizeBlock(slot_ + 1, leader, std::move(built), t0, final_time);
+
+  ++slot_;
+  // PoH keeps ticking: the next slot starts on schedule no matter what.
+  ctx_->sim()->ScheduleAt(t0 + params.slot_duration, [this] { Slot(); });
+}
+
+}  // namespace diablo

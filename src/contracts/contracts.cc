@@ -1,0 +1,521 @@
+#include "src/contracts/contracts.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/vm/assembler.h"
+
+namespace diablo {
+namespace {
+
+// ExchangeContractGafam. Storage: keys 1..5 hold the remaining supply of
+// GOOGL, AAPL, FB, AMZN, MSFT. Each buy checks availability, decrements the
+// counter and emits the new supply (§3, Exchange DApp).
+constexpr char kExchangeSource[] = R"(
+; --- ExchangeContractGafam ---
+.func init            ; init(supply): seed all five stocks
+  push 1
+  arg 0
+  sstore
+  push 2
+  arg 0
+  sstore
+  push 3
+  arg 0
+  sstore
+  push 4
+  arg 0
+  sstore
+  push 5
+  arg 0
+  sstore
+  stop
+
+.func check_stock     ; check_stock(stock_key) -> supply
+  arg 0
+  sload
+  return
+
+.func buy_google
+  push 1
+  sload
+  dup 0
+  push 0
+  gt
+  jumpi g_ok
+  revert
+g_ok:
+  push 1
+  sub               ; supply - 1
+  dup 0
+  push 1
+  swap 1
+  sstore            ; state[1] = supply - 1
+  emit 1
+  stop
+
+.func buy_apple
+  push 2
+  sload
+  dup 0
+  push 0
+  gt
+  jumpi a_ok
+  revert
+a_ok:
+  push 1
+  sub
+  dup 0
+  push 2
+  swap 1
+  sstore
+  emit 1
+  stop
+
+.func buy_facebook
+  push 3
+  sload
+  dup 0
+  push 0
+  gt
+  jumpi f_ok
+  revert
+f_ok:
+  push 1
+  sub
+  dup 0
+  push 3
+  swap 1
+  sstore
+  emit 1
+  stop
+
+.func buy_amazon
+  push 4
+  sload
+  dup 0
+  push 0
+  gt
+  jumpi z_ok
+  revert
+z_ok:
+  push 1
+  sub
+  dup 0
+  push 4
+  swap 1
+  sstore
+  emit 1
+  stop
+
+.func buy_microsoft
+  push 5
+  sload
+  dup 0
+  push 0
+  gt
+  jumpi m_ok
+  revert
+m_ok:
+  push 1
+  sub
+  dup 0
+  push 5
+  swap 1
+  sstore
+  emit 1
+  stop
+)";
+
+// DecentralizedDota. Storage per player i (0..9): key 100+4i = x,
+// 101+4i = x direction, 102+4i = y, 103+4i = y direction. update(dx, dy)
+// moves every player by dir*step on each axis and turns back at the borders
+// of the 250x250 map (§3, Gaming DApp).
+constexpr char kDotaSource[] = R"(
+; --- DecentralizedDota ---
+.func init            ; spread players over the map, directions +1
+  push 0
+di_loop:
+  dup 0
+  push 10
+  lt
+  jumpi di_body
+  pop
+  stop
+di_body:
+  dup 0
+  push 4
+  mul
+  push 100
+  add
+  dup 1
+  push 25
+  mul
+  sstore            ; x_i = 25 * i
+  dup 0
+  push 4
+  mul
+  push 101
+  add
+  push 1
+  sstore            ; xdir_i = 1
+  dup 0
+  push 4
+  mul
+  push 102
+  add
+  dup 1
+  push 20
+  mul
+  sstore            ; y_i = 20 * i
+  dup 0
+  push 4
+  mul
+  push 103
+  add
+  push 1
+  sstore            ; ydir_i = 1
+  push 1
+  add
+  jump di_loop
+
+.func update          ; update(dx, dy)
+  push 0
+du_loop:
+  dup 0
+  push 10
+  lt
+  jumpi du_body
+  pop
+  stop
+du_body:
+  ; ----- x axis -----
+  dup 0
+  push 4
+  mul
+  push 100
+  add               ; [i, kx]
+  dup 0
+  sload             ; [i, kx, x]
+  dup 1
+  push 1
+  add
+  sload             ; [i, kx, x, dir]
+  arg 0
+  mul
+  add               ; [i, kx, x']
+  dup 0
+  push 249
+  gt
+  jumpi px_hi
+  dup 0
+  push 0
+  lt
+  jumpi px_lo
+  dup 1
+  swap 1
+  sstore            ; state[kx] = x'
+  jump px_done
+px_hi:
+  pop
+  push 249
+  dup 1
+  swap 1
+  sstore            ; clamp to the border
+  dup 0
+  push 1
+  add
+  push -1
+  sstore            ; turn back
+  jump px_done
+px_lo:
+  pop
+  push 0
+  dup 1
+  swap 1
+  sstore
+  dup 0
+  push 1
+  add
+  push 1
+  sstore
+px_done:
+  pop               ; [i]
+  ; ----- y axis -----
+  dup 0
+  push 4
+  mul
+  push 102
+  add               ; [i, ky]
+  dup 0
+  sload
+  dup 1
+  push 1
+  add
+  sload
+  arg 1
+  mul
+  add               ; [i, ky, y']
+  dup 0
+  push 249
+  gt
+  jumpi py_hi
+  dup 0
+  push 0
+  lt
+  jumpi py_lo
+  dup 1
+  swap 1
+  sstore
+  jump py_done
+py_hi:
+  pop
+  push 249
+  dup 1
+  swap 1
+  sstore
+  dup 0
+  push 1
+  add
+  push -1
+  sstore
+  jump py_done
+py_lo:
+  pop
+  push 0
+  dup 1
+  swap 1
+  sstore
+  dup 0
+  push 1
+  add
+  push 1
+  sstore
+py_done:
+  pop               ; [i]
+  push 1
+  add
+  jump du_loop
+)";
+
+// Counter (FIFA web service): one highly contended slot (§3, Web service
+// DApp).
+constexpr char kCounterSource[] = R"(
+; --- Counter ---
+.func add
+  push 1
+  dup 0
+  sload
+  push 1
+  add
+  sstore
+  stop
+
+.func get
+  push 1
+  sload
+  return
+)";
+
+// ContractUber. Storage: keys 10/11 hold the reference driver position.
+// check_distance(cx, cy) computes 10,000 Euclidean distances with Newton's
+// integer square root and returns the minimum — the computation profile of
+// the paper's PyTeal variant, which stores one driver and computes the
+// distance to it 10,000 times (§3, Mobility service DApp).
+constexpr char kUberSource[] = R"(
+; --- ContractUber ---
+.func init            ; init(x, y): place the reference driver
+  push 10
+  arg 0
+  sstore
+  push 11
+  arg 1
+  sstore
+  stop
+
+.func isqrt           ; isqrt(n): exact floor square root, Newton's method
+  arg 0
+  dup 0               ; [n, x=n]
+  dup 0
+  push 1
+  add
+  push 2
+  div                 ; [n, x, y=(n+1)/2]
+si_loop:
+  dup 0
+  dup 2
+  lt                  ; y < x
+  jumpi si_step
+  pop
+  swap 1
+  pop                 ; [x]
+  return
+si_step:
+  swap 1
+  pop                 ; x = y
+  dup 1
+  dup 1
+  div
+  dup 1
+  add
+  push 2
+  div                 ; y = (x + n/x) / 2
+  jump si_loop
+
+.func check_distance  ; check_distance(cx, cy) -> min distance over 10,000 probes
+  push 10
+  sload               ; [drx]
+  push 11
+  sload               ; [drx, dry]
+  push 300000000      ; [drx, dry, best]
+  push 0              ; [drx, dry, best, i]
+cd_loop:
+  dup 0
+  push 10000
+  lt
+  jumpi cd_body
+  pop                 ; [drx, dry, best]
+  return
+cd_body:
+  dup 3
+  arg 0
+  sub                 ; drx - cx
+  dup 1
+  push 100
+  mod
+  sub                 ; ddx = drx - cx - (i mod 100)
+  dup 0
+  mul                 ; [.., i, ddx2]
+  dup 3
+  arg 1
+  sub                 ; dry - cy
+  dup 0
+  mul                 ; [.., i, ddx2, ddy2]
+  add                 ; [drx, dry, best, i, n]
+  dup 0
+  push 2
+  lt
+  jumpi cd_small      ; n in {0, 1}: d = n
+  push 16384          ; [.., n, x]; sqrt(n) <= 14214 on the 10,000^2 grid
+  dup 1
+  dup 1
+  div
+  dup 1
+  add
+  push 2
+  div                 ; [.., n, x, y = (x + n/x) / 2]
+  jump cd_isq_loop
+cd_small:
+  jump cd_min         ; [drx, dry, best, i, d = n]
+cd_isq_loop:
+  dup 0
+  dup 2
+  lt
+  jumpi cd_isq_step
+  pop
+  swap 1
+  pop                 ; [drx, dry, best, i, d]
+  jump cd_min
+cd_isq_step:
+  swap 1
+  pop
+  dup 1
+  dup 1
+  div
+  dup 1
+  add
+  push 2
+  div
+  jump cd_isq_loop
+cd_min:
+  dup 0
+  dup 3
+  lt                  ; d < best
+  jumpi cd_newbest
+  pop                 ; [drx, dry, best, i]
+  jump cd_next
+cd_newbest:
+  swap 2              ; [drx, dry, d, i, best]
+  pop                 ; [drx, dry, d, i]
+cd_next:
+  push 1
+  add
+  jump cd_loop
+)";
+
+// DecentralizedYoutube. Storage: key 0 = video count; per video, an owner
+// record and a data blob whose size is upload()'s argument. The blob write
+// is what the AVM's 128-byte state limit rejects (§5.2) (§3, Video sharing
+// DApp).
+constexpr char kYoutubeSource[] = R"(
+; --- DecentralizedYoutube ---
+.func upload          ; upload(data_bytes)
+  push 0
+  sload
+  push 1
+  add                 ; [count']
+  dup 0
+  push 0
+  swap 1
+  sstore              ; state[0] = count'
+  dup 0
+  push 2
+  mul
+  push 1000000
+  add                 ; [count', k]
+  dup 0
+  caller
+  sstore              ; owner record: state[k] = caller
+  push 1
+  add                 ; [count', k + 1]
+  arg 0
+  sstoreb             ; data blob of arg0 bytes
+  caller
+  emit 2              ; (caller, video id)
+  stop
+
+.func count
+  push 0
+  sload
+  return
+)";
+
+std::vector<ContractDef> BuildRegistry() {
+  std::vector<ContractDef> contracts;
+  contracts.push_back(ContractDef{"exchange", "ExchangeContractGafam", kExchangeSource,
+                                  {100000000}});
+  contracts.push_back(ContractDef{"dota", "DecentralizedDota", kDotaSource, {}});
+  contracts.push_back(ContractDef{"counter", "Counter", kCounterSource, {}});
+  contracts.push_back(ContractDef{"uber", "ContractUber", kUberSource, {7001, 4203}});
+  contracts.push_back(ContractDef{"youtube", "DecentralizedYoutube", kYoutubeSource, {}});
+  return contracts;
+}
+
+}  // namespace
+
+const std::vector<ContractDef>& AllContracts() {
+  static const std::vector<ContractDef>* const kRegistry =
+      new std::vector<ContractDef>(BuildRegistry());
+  return *kRegistry;
+}
+
+const ContractDef* FindContract(std::string_view name) {
+  for (const ContractDef& def : AllContracts()) {
+    if (def.name == name || def.display_name == name) {
+      return &def;
+    }
+  }
+  return nullptr;
+}
+
+Program CompileContract(const ContractDef& def) {
+  AssembleResult result = Assemble(def.name, def.source);
+  if (!result.ok) {
+    std::fprintf(stderr, "bundled contract '%s' failed to assemble: %s\n",
+                 def.name.c_str(), result.error.c_str());
+    std::abort();
+  }
+  return std::move(result.program);
+}
+
+}  // namespace diablo

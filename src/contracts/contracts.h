@@ -1,0 +1,45 @@
+// The five DApps of §3, written in the VM's assembly language.
+//
+// Each contract mirrors the behaviour the paper describes:
+//  - exchange  (ExchangeContractGafam): per-stock counters, buy* functions
+//    that check availability, decrement and emit an event.
+//  - dota      (DecentralizedDota): update() moves 10 players on a 250x250
+//    map, turning back at the borders.
+//  - counter   (Counter, FIFA web service): add() increments one hot slot.
+//  - uber      (ContractUber): checkDistance() computes 10,000 integer-sqrt
+//    Euclidean distances (Newton's method — the VM, like PyTeal and Move,
+//    has no float or sqrt), making it compute-intensive.
+//  - youtube   (DecentralizedYoutube): upload() records the caller and a
+//    data blob whose size exceeds AVM's 128-byte state-entry limit.
+#ifndef SRC_CONTRACTS_CONTRACTS_H_
+#define SRC_CONTRACTS_CONTRACTS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/vm/program.h"
+
+namespace diablo {
+
+struct ContractDef {
+  std::string name;          // registry key, e.g. "dota"
+  std::string display_name;  // the paper's contract name
+  std::string source;        // assembly text
+  // Arguments passed to the exported "init" function at deployment, if any.
+  std::vector<int64_t> init_args;
+};
+
+// All bundled contracts.
+const std::vector<ContractDef>& AllContracts();
+
+// nullptr when unknown.
+const ContractDef* FindContract(std::string_view name);
+
+// Assembles the contract; aborts on assembly errors (the bundled sources are
+// compile-time constants, so failure is a programming error).
+Program CompileContract(const ContractDef& def);
+
+}  // namespace diablo
+
+#endif  // SRC_CONTRACTS_CONTRACTS_H_

@@ -1,0 +1,134 @@
+#include "src/core/interface.h"
+
+#include <utility>
+
+#include "src/contracts/contracts.h"
+
+namespace diablo {
+namespace {
+
+// Client bound to a secondary location; submissions travel over the
+// simulated network to the collocated endpoint.
+class SimClient : public BlockchainClient {
+ public:
+  SimClient(ChainInstance* chain, HostId client_host, std::vector<int> endpoints)
+      : chain_(chain), client_host_(client_host), endpoints_(std::move(endpoints)) {}
+
+  void Trigger(TxId encoded, SimTime submit_time) override {
+    ChainContext& ctx = chain_->context();
+    Transaction& tx = ctx.txs().at(encoded);
+    tx.submit_time = submit_time;
+
+    // Pre-flight: chains whose VM rejects the call (hard budget, state
+    // limits) error out at the client, like Solana's "Computational budget
+    // exceeded" logs in the artifact appendix.
+    if (tx.exec_status != VmStatus::kOk) {
+      tx.phase = TxPhase::kAborted;
+      tx.commit_time = submit_time + Milliseconds(50);
+      if (ctx.on_tx_complete) {
+        ctx.on_tx_complete(encoded);
+      }
+      return;
+    }
+
+    const int endpoint = endpoints_[next_endpoint_++ % endpoints_.size()];
+    const HostId endpoint_host = ctx.hosts()[static_cast<size_t>(endpoint)];
+    SimDuration delay =
+        ctx.net()->DelaySample(client_host_, endpoint_host, tx.size_bytes + 128);
+    if (delay == kUnreachable) {
+      delay = Milliseconds(500);
+    }
+
+    // Read-only calls: the endpoint executes against its local state and
+    // replies — request travels there, execution runs, response returns.
+    if (tx.read_only) {
+      const SimDuration exec = ctx.ExecAndVerifyTime(tx.gas, 1);
+      SimDuration back =
+          ctx.net()->DelaySample(endpoint_host, client_host_, 256);
+      if (back == kUnreachable) {
+        back = Milliseconds(500);
+      }
+      tx.phase = TxPhase::kCommitted;
+      tx.commit_time = submit_time + delay + exec + back;
+      if (ctx.on_tx_complete) {
+        ctx.on_tx_complete(encoded);
+      }
+      return;
+    }
+
+    const SimTime arrival = submit_time + delay;
+    ctx.sim()->ScheduleAt(arrival, [&ctx, encoded, endpoint, arrival] {
+      ctx.SubmitAtEndpoint(encoded, endpoint, arrival);
+    });
+  }
+
+ private:
+  ChainInstance* chain_;
+  HostId client_host_;
+  std::vector<int> endpoints_;
+  size_t next_endpoint_ = 0;
+};
+
+}  // namespace
+
+SimConnector::SimConnector(ChainInstance* chain) : chain_(chain) {}
+
+std::unique_ptr<BlockchainClient> SimConnector::CreateClient(
+    Region location, std::vector<int> endpoint_view) {
+  const HostId host = chain_->context().net()->AddHost(location);
+  return std::make_unique<SimClient>(chain_, host, std::move(endpoint_view));
+}
+
+bool SimConnector::CreateResource(const ResourceSpec& spec, Resource* out) {
+  *out = Resource{};
+  if (spec.kind == ResourceSpec::Kind::kAccounts) {
+    out->first_account = next_account_;
+    out->account_count = spec.account_count;
+    next_account_ += static_cast<uint32_t>(spec.account_count);
+    return true;
+  }
+  const ContractDef* def = FindContract(spec.contract_name);
+  if (def == nullptr) {
+    return false;
+  }
+  out->contract_index = chain_->context().oracle().Deploy(*def);
+  return out->contract_index >= 0;
+}
+
+TxId SimConnector::Encode(const InteractionSpec& spec, const Resource& accounts,
+                          SimTime scheduled_time) {
+  ChainContext& ctx = chain_->context();
+  Transaction tx;
+  tx.account = accounts.first_account +
+               static_cast<uint32_t>(encode_counter_ %
+                                     static_cast<uint64_t>(accounts.account_count));
+  tx.sequence = static_cast<uint32_t>(encode_counter_);
+  ++encode_counter_;
+  tx.submit_time = scheduled_time;
+
+  if (spec.type == InteractionSpec::Type::kTransfer) {
+    tx.contract = -1;
+    tx.gas = NativeTransferGas(ctx.params().dialect);
+    tx.size_bytes = kNativeTransferBytes;
+  } else {
+    tx.read_only = spec.type == InteractionSpec::Type::kQuery;
+    tx.contract = static_cast<int16_t>(spec.contract_index);
+    tx.function =
+        static_cast<int16_t>(ctx.oracle().FunctionIndex(spec.contract_index, spec.function));
+    const CallProfile& profile =
+        ctx.oracle().Profile(spec.contract_index, spec.function, spec.args);
+    tx.gas = profile.gas;
+    tx.exec_status = profile.status;
+    // Payload-bearing calls (e.g. youtube upload) carry their data on the
+    // wire as well.
+    int64_t payload = 0;
+    if (!spec.args.empty() && spec.function == "upload") {
+      payload = spec.args[0];
+    }
+    tx.size_bytes =
+        kNativeTransferBytes + profile.calldata_bytes + static_cast<int32_t>(payload);
+  }
+  return ctx.txs().Add(tx);
+}
+
+}  // namespace diablo

@@ -1,0 +1,88 @@
+// The diablo Primary (§4): builds the deployment, deploys contracts,
+// pre-encodes the workload, partitions it across Secondaries collocated
+// with the blockchain nodes, runs the benchmark and aggregates the results.
+#ifndef SRC_CORE_PRIMARY_H_
+#define SRC_CORE_PRIMARY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/config/spec.h"
+#include "src/core/report.h"
+#include "src/workload/dapps.h"
+
+#include "src/chain/node.h"
+
+namespace diablo {
+
+struct BenchmarkSetup {
+  std::string chain = "quorum";
+  // Overrides GetChainParams(chain) when set (ablations, custom chains).
+  std::optional<ChainParams> params;
+  std::string deployment = "testnet";
+  int secondaries = 10;
+  int accounts = 2000;  // §5.2: most configurations submit from 2,000 accounts
+  uint64_t seed = 1;
+  // Observation continues this long past the end of the trace.
+  SimDuration drain = Seconds(120);
+  // Multiplies every trace rate; < 1 shrinks heavy workloads for quick runs.
+  double scale = 1.0;
+  // When set, the primary writes the full results documents (summary plus
+  // per-transaction records) before returning — the paper's --output flow.
+  std::string results_json_path;
+  std::string results_csv_path;
+};
+
+struct RunResult {
+  Report report;
+  ChainStats chain_stats;
+  // The DApp's contract cannot exist on this chain (Fig. 2's absent bars).
+  bool unsupported = false;
+  // Non-empty when invocations fail before commit, e.g. "budget exceeded"
+  // (Fig. 5's X marks).
+  std::string failure_reason;
+  size_t behind_schedule = 0;
+};
+
+// One independent submission stream: a trace plus what each of its
+// transactions does and where its clients sit. Workload-spec groups map to
+// streams; the simple RunNative / RunDapp entry points build a single one.
+struct WorkStream {
+  Trace trace;
+  std::string contract;              // empty = native transfers
+  std::optional<Invocation> fixed;   // overrides the dapp mix when set
+  std::string dapp_name;             // for the per-index invocation mix
+  std::vector<Region> locations;     // client regions; empty = collocated spread
+  // Endpoint view patterns (the spec's `view:`): ".*" = every node, or
+  // node indices as decimal strings. Empty = the collocated default.
+  std::vector<std::string> endpoints;
+};
+
+class Primary {
+ public:
+  explicit Primary(BenchmarkSetup setup);
+
+  // Native transfers following `trace` (§6.2/§6.3 synthetic workloads).
+  RunResult RunNative(const Trace& trace);
+
+  // One of the five DApp workloads (§3).
+  RunResult RunDapp(const DappWorkload& dapp);
+
+  // A parsed workload specification file (§4); every group/behavior becomes
+  // its own stream with its own clients and load ramp.
+  RunResult RunSpec(const WorkloadSpec& spec);
+
+  // General entry point: any mix of streams over one chain deployment.
+  RunResult RunStreams(std::vector<WorkStream> streams,
+                       const std::string& workload_name);
+
+  const BenchmarkSetup& setup() const { return setup_; }
+
+ private:
+  BenchmarkSetup setup_;
+};
+
+}  // namespace diablo
+
+#endif  // SRC_CORE_PRIMARY_H_

@@ -1,0 +1,88 @@
+#include "src/core/report.h"
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+
+namespace diablo {
+
+Report BuildReport(const TxStore& txs, SimTime horizon, std::string chain,
+                   std::string deployment, std::string workload,
+                   double workload_duration) {
+  Report report;
+  report.chain = std::move(chain);
+  report.deployment = std::move(deployment);
+  report.workload = std::move(workload);
+  report.workload_duration = workload_duration;
+
+  SimTime last_commit = 0;
+  for (TxId id = 0; id < txs.size(); ++id) {
+    const Transaction& tx = txs.at(id);
+    if (tx.phase == TxPhase::kCreated) {
+      continue;  // never submitted
+    }
+    ++report.submitted;
+    report.submitted_per_second.Add(ToSeconds(tx.submit_time), 1.0);
+    switch (tx.phase) {
+      case TxPhase::kCommitted:
+        if (tx.commit_time <= horizon) {
+          ++report.committed;
+          last_commit = std::max(last_commit, tx.commit_time);
+          const double latency = tx.LatencySeconds();
+          report.latencies.Add(latency);
+          report.committed_per_second.Add(ToSeconds(tx.commit_time), 1.0);
+        } else {
+          ++report.pending;
+        }
+        break;
+      case TxPhase::kDropped:
+        ++report.dropped;
+        break;
+      case TxPhase::kAborted:
+        ++report.aborted;
+        break;
+      case TxPhase::kSubmitted:
+        ++report.pending;
+        break;
+      case TxPhase::kCreated:
+        break;
+    }
+  }
+
+  if (report.workload_duration > 0) {
+    report.avg_load = static_cast<double>(report.submitted) / report.workload_duration;
+  }
+  const double span = std::max(report.workload_duration, ToSeconds(last_commit));
+  if (span > 0) {
+    report.avg_throughput = static_cast<double>(report.committed) / span;
+  }
+  if (report.submitted > 0) {
+    report.commit_ratio =
+        static_cast<double>(report.committed) / static_cast<double>(report.submitted);
+  }
+  if (report.latencies.count() > 0) {
+    report.avg_latency = report.latencies.Mean();
+    report.median_latency = report.latencies.Median();
+    report.p95_latency = report.latencies.Percentile(0.95);
+    report.max_latency = report.latencies.Max();
+  }
+  return report;
+}
+
+std::string Report::ToText() const {
+  std::string out;
+  out += StrFormat("chain:        %s\n", chain.c_str());
+  out += StrFormat("deployment:   %s\n", deployment.c_str());
+  out += StrFormat("workload:     %s (%.0f s)\n", workload.c_str(), workload_duration);
+  out += StrFormat("submitted:    %zu (avg load %.1f TPS)\n", submitted, avg_load);
+  out += StrFormat("committed:    %zu (%.1f%%)\n", committed, 100.0 * commit_ratio);
+  out += StrFormat("dropped:      %zu\n", dropped);
+  out += StrFormat("aborted:      %zu\n", aborted);
+  out += StrFormat("pending:      %zu\n", pending);
+  out += StrFormat("throughput:   %.1f TPS\n", avg_throughput);
+  out += StrFormat("latency avg:  %.2f s  median: %.2f s  p95: %.2f s  max: %.2f s\n",
+                   avg_latency, median_latency, p95_latency, max_latency);
+  return out;
+}
+
+}  // namespace diablo

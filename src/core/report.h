@@ -1,0 +1,51 @@
+// Result aggregation: the metrics the paper reports — average load,
+// average throughput, average/median latency, proportion of committed
+// transactions, per-second time series and the latency CDF of Fig. 6.
+#ifndef SRC_CORE_REPORT_H_
+#define SRC_CORE_REPORT_H_
+
+#include <string>
+
+#include "src/chain/tx.h"
+#include "src/support/stats.h"
+
+namespace diablo {
+
+struct Report {
+  std::string chain;
+  std::string deployment;
+  std::string workload;
+
+  size_t submitted = 0;  // sent by secondaries
+  size_t committed = 0;  // included and successful before the horizon
+  size_t dropped = 0;    // rejected / evicted / expired
+  size_t aborted = 0;    // execution failure (e.g. budget exceeded)
+  size_t pending = 0;    // still in flight at the horizon
+
+  double workload_duration = 0;  // seconds of trace
+  double avg_load = 0;           // submitted / duration
+  double avg_throughput = 0;     // committed / commit span
+  double avg_latency = 0;        // seconds, over committed
+  double median_latency = 0;
+  double p95_latency = 0;
+  double max_latency = 0;
+  double commit_ratio = 0;  // committed / submitted
+
+  TimeSeries submitted_per_second;
+  TimeSeries committed_per_second;
+  SampleSet latencies;
+
+  // Multi-line human-readable summary (the primary's --stat output).
+  std::string ToText() const;
+};
+
+// Builds the report from the transaction arena. Transactions whose commit
+// time falls after `horizon` count as pending — the benchmark stopped
+// observing before they landed.
+Report BuildReport(const TxStore& txs, SimTime horizon, std::string chain,
+                   std::string deployment, std::string workload,
+                   double workload_duration);
+
+}  // namespace diablo
+
+#endif  // SRC_CORE_REPORT_H_

@@ -1,0 +1,101 @@
+#include "src/core/results.h"
+
+#include <fstream>
+
+#include "src/support/strings.h"
+#include "src/vm/interpreter.h"
+
+namespace diablo {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ReportToJson(const Report& report) {
+  std::string out = "{";
+  out += StrFormat("\"chain\": \"%s\", ", JsonEscape(report.chain).c_str());
+  out += StrFormat("\"deployment\": \"%s\", ", JsonEscape(report.deployment).c_str());
+  out += StrFormat("\"workload\": \"%s\", ", JsonEscape(report.workload).c_str());
+  out += StrFormat("\"duration_s\": %.1f, ", report.workload_duration);
+  out += StrFormat("\"submitted\": %zu, ", report.submitted);
+  out += StrFormat("\"committed\": %zu, ", report.committed);
+  out += StrFormat("\"dropped\": %zu, ", report.dropped);
+  out += StrFormat("\"aborted\": %zu, ", report.aborted);
+  out += StrFormat("\"pending\": %zu, ", report.pending);
+  out += StrFormat("\"avg_load_tps\": %.2f, ", report.avg_load);
+  out += StrFormat("\"avg_throughput_tps\": %.2f, ", report.avg_throughput);
+  out += StrFormat("\"commit_ratio\": %.4f, ", report.commit_ratio);
+  out += StrFormat("\"avg_latency_s\": %.3f, ", report.avg_latency);
+  out += StrFormat("\"median_latency_s\": %.3f, ", report.median_latency);
+  out += StrFormat("\"p95_latency_s\": %.3f, ", report.p95_latency);
+  out += StrFormat("\"max_latency_s\": %.3f", report.max_latency);
+  out += "}";
+  return out;
+}
+
+void WriteResultsJson(std::ostream& out, const Report& report, const TxStore& txs,
+                      size_t max_txs) {
+  out << "{\n  \"summary\": " << ReportToJson(report) << ",\n";
+  out << "  \"transactions\": [\n";
+  size_t written = 0;
+  for (TxId id = 0; id < txs.size() && written < max_txs; ++id) {
+    const Transaction& tx = txs.at(id);
+    if (tx.phase == TxPhase::kCreated) {
+      continue;
+    }
+    if (written > 0) {
+      out << ",\n";
+    }
+    out << StrFormat(
+        "    {\"submit\": %.6f, \"commit\": %.6f, \"latency\": %.6f, \"status\": "
+        "\"%s\"}",
+        ToSeconds(tx.submit_time),
+        tx.commit_time < 0 ? -1.0 : ToSeconds(tx.commit_time), tx.LatencySeconds(),
+        std::string(TxPhaseName(tx.phase)).c_str());
+    ++written;
+  }
+  out << "\n  ]\n}\n";
+}
+
+void WriteResultsCsv(std::ostream& out, const TxStore& txs) {
+  out << "submit_time,latency,status\n";
+  for (TxId id = 0; id < txs.size(); ++id) {
+    const Transaction& tx = txs.at(id);
+    if (tx.phase == TxPhase::kCreated) {
+      continue;
+    }
+    out << StrFormat("%.6f,%.6f,%s\n", ToSeconds(tx.submit_time), tx.LatencySeconds(),
+                     std::string(TxPhaseName(tx.phase)).c_str());
+  }
+}
+
+bool WriteResultsJsonFile(const std::string& path, const Report& report,
+                          const TxStore& txs, size_t max_txs) {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  WriteResultsJson(file, report, txs, max_txs);
+  return static_cast<bool>(file);
+}
+
+bool WriteResultsCsvFile(const std::string& path, const TxStore& txs) {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  WriteResultsCsv(file, txs);
+  return static_cast<bool>(file);
+}
+
+}  // namespace diablo

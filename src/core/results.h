@@ -1,0 +1,34 @@
+// Result serialization: the primary's JSON output (aggregates plus
+// per-transaction timestamps) and the artifact's CSV conversion.
+#ifndef SRC_CORE_RESULTS_H_
+#define SRC_CORE_RESULTS_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/chain/tx.h"
+#include "src/core/report.h"
+
+namespace diablo {
+
+// Aggregate metrics as a JSON object.
+std::string ReportToJson(const Report& report);
+
+// Full results document: the aggregate object plus a "transactions" array
+// of {submit, commit, latency, status} records (capped at `max_txs` to keep
+// multi-million-transaction runs reviewable).
+void WriteResultsJson(std::ostream& out, const Report& report, const TxStore& txs,
+                      size_t max_txs = 100000);
+
+// CSV with one line per transaction: submit_time,latency,status — the
+// schema of the artifact's csv-results script.
+void WriteResultsCsv(std::ostream& out, const TxStore& txs);
+
+// Convenience file variants; return false on I/O failure.
+bool WriteResultsJsonFile(const std::string& path, const Report& report,
+                          const TxStore& txs, size_t max_txs = 100000);
+bool WriteResultsCsvFile(const std::string& path, const TxStore& txs);
+
+}  // namespace diablo
+
+#endif  // SRC_CORE_RESULTS_H_

@@ -1,0 +1,55 @@
+#include "src/core/runner.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/support/strings.h"
+
+namespace diablo {
+
+RunResult RunNativeBenchmark(const std::string& chain, const std::string& deployment,
+                             double tps, int seconds, uint64_t seed, double scale) {
+  BenchmarkSetup setup;
+  setup.chain = chain;
+  setup.deployment = deployment;
+  setup.seed = seed;
+  setup.scale = scale;
+  Primary primary(setup);
+  return primary.RunNative(ConstantTrace(tps, seconds));
+}
+
+RunResult RunDappBenchmark(const std::string& chain, const std::string& deployment,
+                           const std::string& dapp, uint64_t seed, double scale) {
+  BenchmarkSetup setup;
+  setup.chain = chain;
+  setup.deployment = deployment;
+  setup.seed = seed;
+  setup.scale = scale;
+  Primary primary(setup);
+  const std::string key = ToLower(dapp);
+  for (const char* stock : {"google", "amazon", "facebook", "microsoft", "apple"}) {
+    if (key == stock) {
+      // Per-stock NASDAQ bursts invoke the exchange contract's matching
+      // buy function (§6.5).
+      DappWorkload workload = GetDappWorkload("exchange");
+      workload.name = key;
+      workload.trace = NasdaqStockTrace(key);
+      return primary.RunDapp(workload);
+    }
+  }
+  return primary.RunDapp(GetDappWorkload(dapp));
+}
+
+double ScaleFromEnv() {
+  const char* raw = std::getenv("DIABLO_SCALE");
+  if (raw == nullptr) {
+    return 1.0;
+  }
+  double value = 1.0;
+  if (!ParseDouble(raw, &value) || value <= 0.0) {
+    return 1.0;
+  }
+  return std::min(value, 1.0);
+}
+
+}  // namespace diablo

@@ -1,0 +1,28 @@
+// One-call entry points used by the examples and the benchmark harness.
+#ifndef SRC_CORE_RUNNER_H_
+#define SRC_CORE_RUNNER_H_
+
+#include <string>
+
+#include "src/core/primary.h"
+
+namespace diablo {
+
+// Constant-rate native transfers (the §6.2/§6.3 synthetic workloads).
+RunResult RunNativeBenchmark(const std::string& chain, const std::string& deployment,
+                             double tps, int seconds, uint64_t seed = 1,
+                             double scale = 1.0);
+
+// One of the five §3 DApp workloads: "exchange", "dota", "fifa", "uber",
+// "youtube", or a per-stock NASDAQ burst: "google", "microsoft", "apple", ...
+RunResult RunDappBenchmark(const std::string& chain, const std::string& deployment,
+                           const std::string& dapp, uint64_t seed = 1,
+                           double scale = 1.0);
+
+// Reads DIABLO_SCALE from the environment (default 1.0, clamped to
+// (0, 1]); the bench binaries use it to shrink the heaviest workloads.
+double ScaleFromEnv();
+
+}  // namespace diablo
+
+#endif  // SRC_CORE_RUNNER_H_

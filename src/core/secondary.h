@@ -1,0 +1,56 @@
+// A diablo Secondary (§4): holds a pre-encoded transaction schedule, spawns
+// logical worker clients and submits each transaction at its scheduled
+// time, warning when it falls behind. Submissions are batched one event per
+// second to keep the event queue small at tens of thousands of TPS; each
+// transaction still carries its exact scheduled submission timestamp.
+#ifndef SRC_CORE_SECONDARY_H_
+#define SRC_CORE_SECONDARY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/interface.h"
+
+namespace diablo {
+
+class Secondary {
+ public:
+  Secondary(int index, Region location, Simulation* sim,
+            std::unique_ptr<BlockchainClient> client);
+
+  int index() const { return index_; }
+  Region location() const { return location_; }
+
+  // Adds one pre-signed transaction to the schedule (must be called before
+  // Start, times need not be sorted).
+  void Assign(SimTime submit_time, TxId tx);
+
+  // Schedules the submission events.
+  void Start();
+
+  size_t assigned() const { return schedule_.size(); }
+  size_t submitted() const { return submitted_; }
+  // Submissions that ran later than their scheduled second (the Secondary's
+  // "too late" warning counter).
+  size_t behind_schedule() const { return behind_schedule_; }
+
+ private:
+  struct Planned {
+    SimTime time;
+    TxId tx;
+  };
+
+  void SubmitBatch(size_t first, size_t last);
+
+  int index_;
+  Region location_;
+  Simulation* sim_;
+  std::unique_ptr<BlockchainClient> client_;
+  std::vector<Planned> schedule_;
+  size_t submitted_ = 0;
+  size_t behind_schedule_ = 0;
+};
+
+}  // namespace diablo
+
+#endif  // SRC_CORE_SECONDARY_H_

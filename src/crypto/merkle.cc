@@ -1,0 +1,65 @@
+#include "src/crypto/merkle.h"
+
+namespace diablo {
+namespace {
+
+Digest256 HashPair(const Digest256& left, const Digest256& right) {
+  Sha256 hasher;
+  hasher.Update(left.data(), left.size());
+  hasher.Update(right.data(), right.size());
+  return hasher.Finish();
+}
+
+}  // namespace
+
+Digest256 MerkleRoot(const std::vector<Digest256>& leaves) {
+  if (leaves.empty()) {
+    return Sha256Digest("");
+  }
+  std::vector<Digest256> level = leaves;
+  while (level.size() > 1) {
+    if (level.size() % 2 != 0) {
+      level.push_back(level.back());
+    }
+    std::vector<Digest256> next;
+    next.reserve(level.size() / 2);
+    for (size_t i = 0; i < level.size(); i += 2) {
+      next.push_back(HashPair(level[i], level[i + 1]));
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+std::vector<MerkleProofStep> MerkleProve(const std::vector<Digest256>& leaves,
+                                         size_t index) {
+  std::vector<MerkleProofStep> proof;
+  std::vector<Digest256> level = leaves;
+  while (level.size() > 1) {
+    if (level.size() % 2 != 0) {
+      level.push_back(level.back());
+    }
+    const size_t sibling = index ^ 1;
+    proof.push_back(MerkleProofStep{level[sibling], sibling < index});
+    std::vector<Digest256> next;
+    next.reserve(level.size() / 2);
+    for (size_t i = 0; i < level.size(); i += 2) {
+      next.push_back(HashPair(level[i], level[i + 1]));
+    }
+    level = std::move(next);
+    index /= 2;
+  }
+  return proof;
+}
+
+bool MerkleVerify(const Digest256& leaf, const std::vector<MerkleProofStep>& proof,
+                  const Digest256& root) {
+  Digest256 current = leaf;
+  for (const MerkleProofStep& step : proof) {
+    current = step.sibling_on_left ? HashPair(step.sibling, current)
+                                   : HashPair(current, step.sibling);
+  }
+  return current == root;
+}
+
+}  // namespace diablo

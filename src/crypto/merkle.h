@@ -1,0 +1,32 @@
+// Binary Merkle tree over transaction digests, as used by block headers.
+// Odd levels duplicate the last node (Bitcoin-style), and proofs of
+// inclusion can be generated and verified.
+#ifndef SRC_CRYPTO_MERKLE_H_
+#define SRC_CRYPTO_MERKLE_H_
+
+#include <vector>
+
+#include "src/crypto/sha256.h"
+
+namespace diablo {
+
+// Root over the given leaf digests; the root of zero leaves is the digest of
+// the empty string.
+Digest256 MerkleRoot(const std::vector<Digest256>& leaves);
+
+struct MerkleProofStep {
+  Digest256 sibling;
+  bool sibling_on_left = false;
+};
+
+// Inclusion proof for leaves[index]; index must be in range.
+std::vector<MerkleProofStep> MerkleProve(const std::vector<Digest256>& leaves,
+                                         size_t index);
+
+// Verifies that `leaf` hashes up to `root` through `proof`.
+bool MerkleVerify(const Digest256& leaf, const std::vector<MerkleProofStep>& proof,
+                  const Digest256& root);
+
+}  // namespace diablo
+
+#endif  // SRC_CRYPTO_MERKLE_H_

@@ -1,0 +1,48 @@
+// Signature cost model.
+//
+// The simulation does not need cryptographic security from signatures — the
+// adversary model of the benchmark is load, not forgery — but it does need
+// their *cost*: signing burns client CPU (diablo pre-signs transactions) and
+// verification burns validator CPU. §5.2 recounts Avalanche's RSA4096
+// signing being too slow at scale, which this model reproduces. Tags are
+// SHA-256-based so that verification is a real check in tests.
+#ifndef SRC_CRYPTO_SIGNATURE_H_
+#define SRC_CRYPTO_SIGNATURE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/crypto/sha256.h"
+#include "src/support/time.h"
+
+namespace diablo {
+
+enum class SignatureScheme : uint8_t {
+  kEcdsa = 0,     // secp256k1-style: Ethereum, Quorum, Avalanche (after the
+                  // paper's fallback from RSA4096)
+  kEd25519 = 1,   // Solana, Algorand, Diem
+  kRsa4096 = 2,   // Avalanche's original recommendation; signing is slow
+};
+
+struct SignatureCost {
+  SimDuration sign;    // one signature on a reference core
+  SimDuration verify;  // one verification on a reference core
+  int bytes;           // wire size of the signature
+};
+
+// Cost of the scheme on one reference vCPU.
+SignatureCost CostOf(SignatureScheme scheme);
+
+struct Signature {
+  Digest256 tag;
+};
+
+// "Signs" the message under the (secret, public) = (key, key) toy keypair.
+Signature Sign(uint64_t key, std::string_view message);
+
+// Checks a tag produced by Sign with the same key and message.
+bool Verify(uint64_t key, std::string_view message, const Signature& sig);
+
+}  // namespace diablo
+
+#endif  // SRC_CRYPTO_SIGNATURE_H_

@@ -1,0 +1,45 @@
+#include "src/crypto/sortition.h"
+
+#include "src/crypto/sha256.h"
+
+namespace diablo {
+
+double SortitionDraw(uint64_t seed, uint64_t round, uint64_t step, uint64_t participant) {
+  Sha256 hasher;
+  hasher.Update(&seed, sizeof(seed));
+  hasher.Update(&round, sizeof(round));
+  hasher.Update(&step, sizeof(step));
+  hasher.Update(&participant, sizeof(participant));
+  const uint64_t prefix = DigestPrefix64(hasher.Finish());
+  return static_cast<double>(prefix >> 11) * 0x1.0p-53;
+}
+
+std::vector<uint32_t> SelectCommittee(uint64_t seed, uint64_t round, uint64_t step,
+                                      uint32_t population, double expected) {
+  std::vector<uint32_t> committee;
+  if (population == 0) {
+    return committee;
+  }
+  const double probability = expected / static_cast<double>(population);
+  for (uint32_t p = 0; p < population; ++p) {
+    if (SortitionDraw(seed, round, step, p) < probability) {
+      committee.push_back(p);
+    }
+  }
+  return committee;
+}
+
+uint32_t SelectProposer(uint64_t seed, uint64_t round, uint32_t population) {
+  uint32_t best = 0;
+  double best_draw = 2.0;
+  for (uint32_t p = 0; p < population; ++p) {
+    const double draw = SortitionDraw(seed, round, /*step=*/0, p);
+    if (draw < best_draw) {
+      best_draw = draw;
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace diablo

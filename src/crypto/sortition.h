@@ -1,0 +1,26 @@
+// Cryptographic sortition in the style of Algorand's VRF-based committee
+// selection: a deterministic, seed-keyed uniform draw per (round, step,
+// participant) decides membership and proposer priority.
+#ifndef SRC_CRYPTO_SORTITION_H_
+#define SRC_CRYPTO_SORTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace diablo {
+
+// Uniform double in [0, 1) derived from SHA-256 of the inputs. Acts as the
+// published VRF output: all honest parties compute the same value.
+double SortitionDraw(uint64_t seed, uint64_t round, uint64_t step, uint64_t participant);
+
+// Selects a committee of expected size `expected` from `population`
+// equally-weighted participants. Returns the selected participant indices.
+std::vector<uint32_t> SelectCommittee(uint64_t seed, uint64_t round, uint64_t step,
+                                      uint32_t population, double expected);
+
+// Proposer priority: the participant with the lowest draw for the round.
+uint32_t SelectProposer(uint64_t seed, uint64_t round, uint32_t population);
+
+}  // namespace diablo
+
+#endif  // SRC_CRYPTO_SORTITION_H_

@@ -1,0 +1,45 @@
+#include "src/net/deployment.h"
+
+#include <stdexcept>
+
+#include "src/support/strings.h"
+
+namespace diablo {
+
+std::vector<Region> AllRegions() {
+  std::vector<Region> regions;
+  regions.reserve(kRegionCount);
+  for (int i = 0; i < kRegionCount; ++i) {
+    regions.push_back(static_cast<Region>(i));
+  }
+  return regions;
+}
+
+DeploymentConfig GetDeployment(std::string_view name) {
+  const std::string key = ToLower(name);
+  // Machine classes: c5.9xlarge = 36 vCPU / 72 GiB, c5.xlarge = 4 / 8,
+  // c5.2xlarge = 8 / 16 (Table 3 left).
+  if (key == "datacenter") {
+    return DeploymentConfig{"datacenter", 10, MachineSpec{36, 72}, {Region::kOhio}};
+  }
+  if (key == "testnet") {
+    return DeploymentConfig{"testnet", 10, MachineSpec{4, 8}, {Region::kOhio}};
+  }
+  if (key == "devnet") {
+    return DeploymentConfig{"devnet", 10, MachineSpec{4, 8}, AllRegions()};
+  }
+  if (key == "community") {
+    return DeploymentConfig{"community", 200, MachineSpec{4, 8}, AllRegions()};
+  }
+  if (key == "consortium") {
+    return DeploymentConfig{"consortium", 200, MachineSpec{8, 16}, AllRegions()};
+  }
+  throw std::invalid_argument("unknown deployment: " + std::string(name));
+}
+
+std::vector<DeploymentConfig> AllDeployments() {
+  return {GetDeployment("datacenter"), GetDeployment("testnet"), GetDeployment("devnet"),
+          GetDeployment("community"), GetDeployment("consortium")};
+}
+
+}  // namespace diablo

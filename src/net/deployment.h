@@ -1,0 +1,46 @@
+// The five deployment configurations of Table 3 (left): how many blockchain
+// nodes, on what machine class, spread over which regions.
+#ifndef SRC_NET_DEPLOYMENT_H_
+#define SRC_NET_DEPLOYMENT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/net/region.h"
+
+namespace diablo {
+
+// AWS c5 instance classes used in the paper.
+struct MachineSpec {
+  int vcpus = 4;
+  int memory_gib = 8;
+};
+
+struct DeploymentConfig {
+  std::string name;
+  int node_count = 10;
+  MachineSpec machine;
+  // Nodes are assigned round-robin over these regions (the paper spreads
+  // machines equally among regions).
+  std::vector<Region> regions;
+
+  // Region of the i-th node.
+  Region NodeRegion(int index) const {
+    return regions[static_cast<size_t>(index) % regions.size()];
+  }
+};
+
+// Named configurations from Table 3: "datacenter", "testnet", "devnet",
+// "community", "consortium".
+DeploymentConfig GetDeployment(std::string_view name);
+
+// All five configurations, in the paper's order.
+std::vector<DeploymentConfig> AllDeployments();
+
+// All ten regions in enum order (used by devnet/community/consortium).
+std::vector<Region> AllRegions();
+
+}  // namespace diablo
+
+#endif  // SRC_NET_DEPLOYMENT_H_

@@ -1,0 +1,128 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace diablo {
+
+Network::Network(Simulation* sim, double jitter_frac)
+    : sim_(sim), jitter_frac_(jitter_frac), rng_(sim->ForkRng()) {}
+
+HostId Network::AddHost(Region region) {
+  regions_.push_back(region);
+  partitioned_.push_back(false);
+  return static_cast<HostId>(regions_.size() - 1);
+}
+
+SimDuration Network::ExtraDelay(Region a, Region b) const {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  for (const auto& [pair, extra] : extra_delays_) {
+    if (pair.first == a && pair.second == b) {
+      return extra;
+    }
+  }
+  return 0;
+}
+
+SimDuration Network::DelaySample(HostId from, HostId to, int64_t bytes) {
+  if (partitioned_[from] || partitioned_[to]) {
+    return kUnreachable;
+  }
+  if (from == to) {
+    return 0;
+  }
+  const Region a = regions_[from];
+  const Region b = regions_[to];
+  const SimDuration prop = Topology::PropagationDelay(a, b);
+  const SimDuration trans = Topology::TransmissionDelay(a, b, bytes);
+  const double jitter_scale = jitter_frac_ * std::abs(rng_.NextGaussian(0.0, 1.0));
+  const SimDuration jitter =
+      static_cast<SimDuration>(static_cast<double>(prop) * jitter_scale);
+  return prop + trans + jitter + ExtraDelay(a, b);
+}
+
+void Network::Send(HostId from, HostId to, int64_t bytes, EventFn fn) {
+  const SimDuration delay = DelaySample(from, to, bytes);
+  if (delay == kUnreachable) {
+    return;
+  }
+  sim_->Schedule(delay, std::move(fn));
+}
+
+std::vector<SimDuration> Network::BroadcastDelays(HostId origin,
+                                                  const std::vector<HostId>& recipients,
+                                                  int64_t bytes, int fanout) {
+  std::vector<SimDuration> result(recipients.size(), kUnreachable);
+  if (fanout < 1) {
+    fanout = 1;
+  }
+
+  // Order the reachable recipients deterministically but unpredictably: the
+  // tree shape changes every broadcast like a real gossip overlay.
+  std::vector<size_t> order;
+  order.reserve(recipients.size());
+  for (size_t i = 0; i < recipients.size(); ++i) {
+    if (recipients[i] == origin) {
+      result[i] = 0;
+      continue;
+    }
+    if (!partitioned_[recipients[i]] && !partitioned_[origin]) {
+      order.push_back(i);
+    }
+  }
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng_.NextBelow(i)]);
+  }
+
+  // BFS gossip tree: parents forward `bytes` to up to `fanout` children; the
+  // k-th child waits k transmission slots on the parent uplink.
+  struct TreeNode {
+    HostId host;
+    SimDuration ready;  // time the payload is fully received at this node
+  };
+  std::vector<TreeNode> frontier = {{origin, 0}};
+  size_t next = 0;
+  size_t frontier_head = 0;
+  while (next < order.size() && frontier_head < frontier.size()) {
+    TreeNode parent = frontier[frontier_head++];
+    for (int k = 0; k < fanout && next < order.size(); ++k, ++next) {
+      const size_t idx = order[next];
+      const HostId child = recipients[idx];
+      const Region pr = regions_[parent.host];
+      const Region cr = regions_[child];
+      const SimDuration slot =
+          Topology::TransmissionDelay(pr, cr, bytes) * static_cast<SimDuration>(k + 1);
+      const SimDuration prop = Topology::PropagationDelay(pr, cr);
+      const double jitter_scale = jitter_frac_ * std::abs(rng_.NextGaussian(0.0, 1.0));
+      const SimDuration jitter =
+          static_cast<SimDuration>(static_cast<double>(prop) * jitter_scale);
+      const SimDuration arrival =
+          parent.ready + slot + prop + jitter + ExtraDelay(pr, cr);
+      result[idx] = arrival;
+      frontier.push_back(TreeNode{child, arrival});
+    }
+  }
+  return result;
+}
+
+void Network::SetExtraDelay(Region a, Region b, SimDuration extra) {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  for (auto& [pair, value] : extra_delays_) {
+    if (pair.first == a && pair.second == b) {
+      value = extra;
+      return;
+    }
+  }
+  extra_delays_.push_back({{a, b}, extra});
+}
+
+void Network::SetPartitioned(HostId host, bool partitioned) {
+  partitioned_[host] = partitioned;
+}
+
+}  // namespace diablo

@@ -1,0 +1,74 @@
+// The simulated wide-area network.
+//
+// Hosts register with a region; messages between hosts experience the
+// Table 3 propagation delay and bandwidth-dependent transmission delay of
+// their region pair, plus jitter. Broadcasts run over a gossip tree so a
+// sender's uplink is serialized across its fanout — the mechanism behind
+// leader-bottleneck effects in the leader-based chains.
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/region.h"
+#include "src/net/topology.h"
+#include "src/sim/simulation.h"
+#include "src/support/rng.h"
+
+namespace diablo {
+
+using HostId = uint32_t;
+
+// Returned for undeliverable messages (partitioned hosts).
+inline constexpr SimDuration kUnreachable = -1;
+
+class Network {
+ public:
+  // `jitter_frac` scales a half-normal jitter term added to propagation.
+  explicit Network(Simulation* sim, double jitter_frac = 0.05);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  HostId AddHost(Region region);
+  Region HostRegion(HostId host) const { return regions_[host]; }
+  size_t host_count() const { return regions_.size(); }
+
+  // Samples a one-way delay for `bytes` from `from` to `to`. Returns
+  // kUnreachable when either endpoint is partitioned off.
+  SimDuration DelaySample(HostId from, HostId to, int64_t bytes);
+
+  // Schedules `fn` at the destination after a sampled delay; drops the
+  // message silently when unreachable (like a real network would).
+  void Send(HostId from, HostId to, int64_t bytes, EventFn fn);
+
+  // Delay from `origin` to each entry of `recipients` when `bytes` are
+  // disseminated through a gossip tree with the given fanout. recipients[i]
+  // may equal origin (delay 0). Unreachable hosts get kUnreachable.
+  std::vector<SimDuration> BroadcastDelays(HostId origin,
+                                           const std::vector<HostId>& recipients,
+                                           int64_t bytes, int fanout);
+
+  // Fault injection: adds a fixed extra delay on one region pair (both
+  // directions), or cuts a host off entirely.
+  void SetExtraDelay(Region a, Region b, SimDuration extra);
+  void SetPartitioned(HostId host, bool partitioned);
+
+  Simulation* sim() { return sim_; }
+
+ private:
+  SimDuration ExtraDelay(Region a, Region b) const;
+
+  Simulation* sim_;
+  double jitter_frac_;
+  Rng rng_;
+  std::vector<Region> regions_;
+  std::vector<bool> partitioned_;
+  // Sparse extra-delay entries: (min(a,b), max(a,b)) -> extra.
+  std::vector<std::pair<std::pair<Region, Region>, SimDuration>> extra_delays_;
+};
+
+}  // namespace diablo
+
+#endif  // SRC_NET_NETWORK_H_

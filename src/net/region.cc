@@ -1,0 +1,52 @@
+#include "src/net/region.h"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace diablo {
+namespace {
+
+constexpr std::array<std::string_view, kRegionCount> kNames = {
+    "Cape Town", "Tokyo", "Mumbai",    "Sydney", "Stockholm",
+    "Milan",     "Bahrain", "Sao Paulo", "Ohio",   "Oregon",
+};
+
+std::string Canonicalize(std::string_view name) {
+  std::string out;
+  for (char c : name) {
+    if (c == ' ' || c == '_' || c == '-') {
+      continue;
+    }
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view RegionName(Region region) {
+  return kNames[static_cast<size_t>(region)];
+}
+
+bool ParseRegion(std::string_view name, Region* out) {
+  const std::string canonical = Canonicalize(name);
+  for (int i = 0; i < kRegionCount; ++i) {
+    if (canonical == Canonicalize(kNames[static_cast<size_t>(i)])) {
+      *out = static_cast<Region>(i);
+      return true;
+    }
+  }
+  // AWS availability-zone style aliases used in workload specs (§4 example).
+  if (canonical == "useast2") {
+    *out = Region::kOhio;
+    return true;
+  }
+  if (canonical == "uswest2") {
+    *out = Region::kOregon;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace diablo

@@ -1,0 +1,33 @@
+// The ten AWS regions used by the paper's deployments (§5.1, Table 3).
+#ifndef SRC_NET_REGION_H_
+#define SRC_NET_REGION_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace diablo {
+
+enum class Region : uint8_t {
+  kCapeTown = 0,
+  kTokyo = 1,
+  kMumbai = 2,
+  kSydney = 3,
+  kStockholm = 4,
+  kMilan = 5,
+  kBahrain = 6,
+  kSaoPaulo = 7,
+  kOhio = 8,
+  kOregon = 9,
+};
+
+inline constexpr int kRegionCount = 10;
+
+std::string_view RegionName(Region region);
+
+// Parses a region name (case-insensitive, spaces/underscores/dashes ignored).
+// Returns false if no region matches.
+bool ParseRegion(std::string_view name, Region* out);
+
+}  // namespace diablo
+
+#endif  // SRC_NET_REGION_H_

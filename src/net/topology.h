@@ -1,0 +1,29 @@
+// Inter-region round-trip times and bandwidths, transcribed from Table 3 of
+// the paper (measured there with iperf3 between devnet machines). Intra-
+// region links model the paper's datacenter numbers: 1 ms RTT, 10 Gbps.
+#ifndef SRC_NET_TOPOLOGY_H_
+#define SRC_NET_TOPOLOGY_H_
+
+#include "src/net/region.h"
+#include "src/support/time.h"
+
+namespace diablo {
+
+class Topology {
+ public:
+  // Round-trip time between two regions in milliseconds.
+  static double RttMs(Region a, Region b);
+
+  // Available bandwidth between two regions in Mbps.
+  static double BandwidthMbps(Region a, Region b);
+
+  // One-way propagation delay (RTT / 2).
+  static SimDuration PropagationDelay(Region a, Region b);
+
+  // Time to push `bytes` through the (a, b) link.
+  static SimDuration TransmissionDelay(Region a, Region b, int64_t bytes);
+};
+
+}  // namespace diablo
+
+#endif  // SRC_NET_TOPOLOGY_H_

@@ -1,0 +1,61 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+namespace diablo {
+
+void EventQueue::Push(SimTime time, EventFn fn) {
+  heap_.push_back(Entry{time, next_seq_++, std::move(fn)});
+  SiftUp(heap_.size() - 1);
+}
+
+EventFn EventQueue::Pop(SimTime* time) {
+  Entry top = std::move(heap_.front());
+  *time = top.time;
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    SiftDown(0);
+  } else {
+    heap_.pop_back();
+  }
+  return std::move(top.fn);
+}
+
+void EventQueue::Clear() {
+  heap_.clear();
+  next_seq_ = 0;
+}
+
+void EventQueue::SiftUp(size_t i) {
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!(heap_[parent] > heap_[i])) {
+      break;
+    }
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void EventQueue::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  while (true) {
+    const size_t left = 2 * i + 1;
+    const size_t right = left + 1;
+    size_t smallest = i;
+    if (left < n && heap_[smallest] > heap_[left]) {
+      smallest = left;
+    }
+    if (right < n && heap_[smallest] > heap_[right]) {
+      smallest = right;
+    }
+    if (smallest == i) {
+      return;
+    }
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace diablo

@@ -1,0 +1,57 @@
+// Binary-heap event queue for the discrete-event simulation.
+//
+// Events at equal timestamps fire in insertion order (a monotonically
+// increasing sequence number breaks ties) so runs are deterministic
+// regardless of heap internals.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/support/time.h"
+
+namespace diablo {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  void Push(SimTime time, EventFn fn);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  // Time of the earliest pending event; undefined when empty.
+  SimTime PeekTime() const { return heap_.front().time; }
+
+  // Removes and returns the earliest event's callback, setting *time.
+  EventFn Pop(SimTime* time);
+
+  void Clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    EventFn fn;
+
+    bool operator>(const Entry& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+
+  std::vector<Entry> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace diablo
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,34 @@
+// Leveled logging to stderr, mirroring diablo's -v/-vv/-vvv verbosity flags.
+// Logging is process-global and off by default so tests stay quiet.
+#ifndef SRC_SUPPORT_LOG_H_
+#define SRC_SUPPORT_LOG_H_
+
+#include <string>
+
+namespace diablo {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+// Sets the maximum level that is emitted. Defaults to kError.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits `message` at `level` if enabled, prefixed with the level tag.
+void LogMessage(LogLevel level, const std::string& message);
+
+}  // namespace diablo
+
+#define DIABLO_LOG(level, msg)                                \
+  do {                                                        \
+    if (static_cast<int>(level) <=                            \
+        static_cast<int>(::diablo::GetLogLevel())) {          \
+      ::diablo::LogMessage((level), (msg));                   \
+    }                                                         \
+  } while (false)
+
+#endif  // SRC_SUPPORT_LOG_H_

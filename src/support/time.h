@@ -1,0 +1,37 @@
+// Simulated-time types. The whole simulation runs on a single signed 64-bit
+// nanosecond clock; helpers below keep unit conversions explicit at call sites.
+#ifndef SRC_SUPPORT_TIME_H_
+#define SRC_SUPPORT_TIME_H_
+
+#include <cstdint>
+
+namespace diablo {
+
+// Simulated time and durations, in nanoseconds since the start of a run.
+using SimTime = int64_t;
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr SimDuration Nanoseconds(int64_t n) { return n; }
+constexpr SimDuration Microseconds(int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration Milliseconds(int64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(int64_t n) { return n * kSecond; }
+
+// Fractional constructors for config values such as "1.9 s block period".
+constexpr SimDuration MillisecondsF(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+constexpr SimDuration SecondsF(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
+constexpr double ToMilliseconds(SimDuration d) { return static_cast<double>(d) / kMillisecond; }
+
+}  // namespace diablo
+
+#endif  // SRC_SUPPORT_TIME_H_

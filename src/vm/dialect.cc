@@ -1,0 +1,31 @@
+#include "src/vm/dialect.h"
+
+#include <array>
+
+namespace diablo {
+namespace {
+
+constexpr std::array<DialectLimits, 4> kLimits = {{
+    // geth: the paper's "no hard limit on gas budget of a transaction";
+    // 21000 intrinsic gas as in the Ethereum yellow paper.
+    {"geth", 0, 0, 0, 21000},
+    // AVM: 700-opcode budget per application call, 128-byte kv entries.
+    {"avm", 700, 0, 128, 500},
+    // MoveVM: hard execution cap. Calibrated to sit far below the Uber
+    // DApp's ~1M-gas executions while allowing ordinary DApp calls.
+    {"movevm", 0, 150000, 0, 1500},
+    // eBPF: Solana's 200k compute-unit budget per transaction.
+    {"ebpf", 0, 200000, 0, 1000},
+}};
+
+}  // namespace
+
+const DialectLimits& LimitsOf(VmDialect dialect) {
+  return kLimits[static_cast<size_t>(dialect)];
+}
+
+std::string_view DialectName(VmDialect dialect) {
+  return LimitsOf(dialect).name;
+}
+
+}  // namespace diablo

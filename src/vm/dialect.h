@@ -1,0 +1,41 @@
+// VM dialects. The four runtimes of Table 4 share this repository's single
+// bytecode ISA but differ exactly where the paper says they differ (§5.2,
+// §6.4): hard per-transaction compute budgets and state-entry size limits.
+#ifndef SRC_VM_DIALECT_H_
+#define SRC_VM_DIALECT_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace diablo {
+
+enum class VmDialect : uint8_t {
+  kGeth = 0,  // Ethereum, Quorum, Avalanche C-Chain — no hard per-tx cap
+  kAvm,       // Algorand: 700-op budget, 128-byte key-value state entries
+  kMoveVm,    // Diem: hard max-gas execution limit
+  kEbpf,      // Solana: 200k compute-unit budget
+};
+
+struct DialectLimits {
+  std::string_view name;
+  // Hard cap on executed instructions per transaction; 0 = unlimited.
+  int64_t op_budget;
+  // Hard cap on gas per transaction regardless of the fee paid; 0 = none.
+  // §6.4: "This execution limit is hard-coded and cannot be lifted by paying
+  // a higher gas fee."
+  int64_t gas_budget;
+  // Maximum bytes per key-value state entry; 0 = unlimited. §5.2: Algorand
+  // state "is limited by a key-value store with 128 bytes per key-value
+  // pair", which is why the video-sharing DApp has no TEAL version.
+  int64_t max_kv_bytes;
+  // Fixed gas charged per transaction before the first instruction.
+  int64_t intrinsic_gas;
+};
+
+const DialectLimits& LimitsOf(VmDialect dialect);
+
+std::string_view DialectName(VmDialect dialect);
+
+}  // namespace diablo
+
+#endif  // SRC_VM_DIALECT_H_

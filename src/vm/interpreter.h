@@ -1,0 +1,60 @@
+// Bytecode interpreter with gas metering and dialect budget enforcement.
+//
+// State writes are journaled and applied only on success, so reverts and
+// budget failures leave storage untouched (transaction semantics).
+#ifndef SRC_VM_INTERPRETER_H_
+#define SRC_VM_INTERPRETER_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "src/vm/dialect.h"
+#include "src/vm/program.h"
+#include "src/vm/state.h"
+
+namespace diablo {
+
+enum class VmStatus : uint8_t {
+  kOk = 0,
+  kReverted,            // contract-initiated revert
+  kOutOfGas,            // exhausted the caller-supplied gas limit
+  kBudgetExceeded,      // dialect hard cap hit — the paper's "budget exceeded"
+  kStateLimitExceeded,  // key-value entry over the dialect's size limit
+  kStackUnderflow,
+  kStackOverflow,
+  kInvalidJump,
+  kInvalidOpcode,
+  kDivisionByZero,
+  kNoSuchFunction,
+};
+
+std::string_view VmStatusName(VmStatus status);
+
+// Statuses that terminate the call but still consume the gas spent so far.
+constexpr bool IsFailure(VmStatus status) { return status != VmStatus::kOk; }
+
+struct ExecResult {
+  VmStatus status = VmStatus::kOk;
+  int64_t gas_used = 0;    // includes intrinsic gas
+  int64_t ops_executed = 0;
+  int64_t return_value = 0;
+  int events_emitted = 0;
+};
+
+struct ExecRequest {
+  const Program* program = nullptr;
+  std::string_view function;
+  std::span<const int64_t> args;
+  uint64_t caller = 0;
+  ContractState* state = nullptr;  // may be null for pure calls
+  VmDialect dialect = VmDialect::kGeth;
+  // Caller-supplied gas limit (e.g. remaining block gas); 0 = unlimited.
+  int64_t gas_limit = 0;
+};
+
+ExecResult Execute(const ExecRequest& request);
+
+}  // namespace diablo
+
+#endif  // SRC_VM_INTERPRETER_H_

@@ -1,0 +1,82 @@
+#include "src/vm/opcode.h"
+
+#include <array>
+
+namespace diablo {
+namespace {
+
+struct OpcodeInfo {
+  std::string_view name;
+  int imm_width;
+  int64_t gas;
+};
+
+// Pure-compute opcodes are cheap (1-2 gas, like post-Berlin EVM arithmetic);
+// storage dominates contract costs just as on real chains.
+constexpr std::array<OpcodeInfo, static_cast<size_t>(Opcode::kOpcodeCount)> kInfo = {{
+    {"stop", 0, 0},
+    {"push", 8, 1},
+    {"pop", 0, 1},
+    {"dup", 1, 1},
+    {"swap", 1, 1},
+    {"add", 0, 1},
+    {"sub", 0, 1},
+    {"mul", 0, 2},
+    {"div", 0, 2},
+    {"mod", 0, 2},
+    {"lt", 0, 1},
+    {"gt", 0, 1},
+    {"le", 0, 1},
+    {"ge", 0, 1},
+    {"eq", 0, 1},
+    {"neq", 0, 1},
+    {"not", 0, 1},
+    {"and", 0, 1},
+    {"or", 0, 1},
+    {"shl", 0, 1},
+    {"shr", 0, 1},
+    {"jump", 4, 2},
+    {"jumpi", 4, 2},
+    {"sload", 0, 200},
+    {"sstore", 0, 2000},
+    {"sstoreb", 0, 2000},
+    {"caller", 0, 1},
+    {"arg", 1, 1},
+    {"argcount", 0, 1},
+    {"emit", 1, 375},
+    {"return", 0, 0},
+    {"revert", 0, 0},
+    {"call", 4, 2},
+    {"ret", 0, 2},
+    {"mload", 0, 3},
+    {"mstore", 0, 3},
+}};
+
+}  // namespace
+
+std::string_view OpcodeName(Opcode op) {
+  const size_t i = static_cast<size_t>(op);
+  return i < kInfo.size() ? kInfo[i].name : std::string_view();
+}
+
+bool ParseOpcode(std::string_view name, Opcode* out) {
+  for (size_t i = 0; i < kInfo.size(); ++i) {
+    if (kInfo[i].name == name) {
+      *out = static_cast<Opcode>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+int ImmediateWidth(Opcode op) {
+  const size_t i = static_cast<size_t>(op);
+  return i < kInfo.size() ? kInfo[i].imm_width : 0;
+}
+
+int64_t OpcodeGas(Opcode op) {
+  const size_t i = static_cast<size_t>(op);
+  return i < kInfo.size() ? kInfo[i].gas : 0;
+}
+
+}  // namespace diablo

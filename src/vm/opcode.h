@@ -1,0 +1,74 @@
+// Instruction set of the gas-metered stack machine that stands in for the
+// EVM / AVM / MoveVM / eBPF runtimes of the evaluated chains (§5.2).
+//
+// Encoding: one opcode byte, followed by an immediate whose width depends on
+// the opcode — 8 bytes for kPush, 4 bytes for jump targets, 1 byte for
+// kDup / kSwap / kArg / kEmit, none otherwise.
+#ifndef SRC_VM_OPCODE_H_
+#define SRC_VM_OPCODE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace diablo {
+
+enum class Opcode : uint8_t {
+  kStop = 0,     // halt, success
+  kPush,         // push imm64
+  kPop,          // drop top
+  kDup,          // push stack[top - imm8]
+  kSwap,         // swap top with stack[top - imm8]
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,          // traps on divide by zero
+  kMod,          // traps on modulo by zero
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kEq,
+  kNeq,
+  kNot,          // logical: 0 -> 1, else -> 0
+  kAnd,          // logical
+  kOr,           // logical
+  kShl,
+  kShr,
+  kJump,         // unconditional, imm32 target
+  kJumpI,        // pops condition, jumps when non-zero
+  kSload,        // pops key, pushes state[key] (0 when absent)
+  kSstore,       // pops key, value; stores
+  kSstoreBytes,  // pops key, byte count; stores an opaque blob of that size
+  kCaller,       // pushes the caller account id
+  kArg,          // pushes calldata[imm8]
+  kArgCount,     // pushes the number of calldata words
+  kEmit,         // pops imm8 values as an event
+  kReturn,       // pops return value, halt, success
+  kRevert,       // halt, state changes discarded
+  kCall,         // imm32 target; pushes the return address on the call stack
+  kRet,          // returns to the address atop the call stack
+  kMload,        // pops address, pushes transient memory word (0 when unset)
+  kMstore,       // pops address, value; writes transient memory
+  kOpcodeCount,  // sentinel
+};
+
+// Mnemonic for the assembler / disassembler; empty view for invalid codes.
+std::string_view OpcodeName(Opcode op);
+
+// Parses a mnemonic; returns false when unknown.
+bool ParseOpcode(std::string_view name, Opcode* out);
+
+// Width in bytes of the immediate operand that follows the opcode byte.
+int ImmediateWidth(Opcode op);
+
+// Gas charged for one execution of the opcode (excluding per-byte charges of
+// kSstoreBytes and per-value charges of kEmit, added by the interpreter).
+int64_t OpcodeGas(Opcode op);
+
+// Extra gas per stored byte for kSstoreBytes and per emitted value for kEmit.
+inline constexpr int64_t kGasPerStoredByte = 16;
+inline constexpr int64_t kGasPerEmittedValue = 256;
+
+}  // namespace diablo
+
+#endif  // SRC_VM_OPCODE_H_

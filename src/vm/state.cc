@@ -1,0 +1,27 @@
+#include "src/vm/state.h"
+
+namespace diablo {
+
+int64_t ContractState::Load(uint64_t key) const {
+  const auto it = words_.find(key);
+  return it == words_.end() ? 0 : it->second;
+}
+
+void ContractState::Store(uint64_t key, int64_t value) { words_[key] = value; }
+
+bool ContractState::StoreBytes(uint64_t key, int64_t bytes, int64_t max_kv_bytes) {
+  if (max_kv_bytes > 0 && bytes > max_kv_bytes) {
+    return false;
+  }
+  auto [it, inserted] = blobs_.try_emplace(key, 0);
+  total_blob_bytes_ += bytes - it->second;
+  it->second = bytes;
+  return true;
+}
+
+int64_t ContractState::BlobSize(uint64_t key) const {
+  const auto it = blobs_.find(key);
+  return it == blobs_.end() ? 0 : it->second;
+}
+
+}  // namespace diablo

@@ -1,0 +1,33 @@
+// Contract storage: a word store plus opaque byte blobs (for payload-bearing
+// writes such as the video-sharing DApp's upload data).
+#ifndef SRC_VM_STATE_H_
+#define SRC_VM_STATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace diablo {
+
+class ContractState {
+ public:
+  int64_t Load(uint64_t key) const;
+  void Store(uint64_t key, int64_t value);
+
+  // Records a blob of `bytes` at `key`; returns false (and stores nothing)
+  // when `max_kv_bytes` > 0 and the entry would exceed it.
+  bool StoreBytes(uint64_t key, int64_t bytes, int64_t max_kv_bytes);
+
+  int64_t BlobSize(uint64_t key) const;
+  size_t entry_count() const { return words_.size() + blobs_.size(); }
+  int64_t total_blob_bytes() const { return total_blob_bytes_; }
+
+ private:
+  std::unordered_map<uint64_t, int64_t> words_;
+  std::unordered_map<uint64_t, int64_t> blobs_;
+  int64_t total_blob_bytes_ = 0;
+};
+
+}  // namespace diablo
+
+#endif  // SRC_VM_STATE_H_

@@ -1,0 +1,97 @@
+#include "src/workload/dapps.h"
+
+#include <stdexcept>
+
+#include "src/support/strings.h"
+
+namespace diablo {
+namespace {
+
+// Stock order frequencies mirror the §3 opening-burst magnitudes:
+// google 800 : amazon 1300 : facebook 3000 : microsoft 4000 : apple 10000.
+constexpr struct {
+  const char* function;
+  uint64_t weight;
+} kBuyMix[] = {
+    {"buy_google", 8},   {"buy_amazon", 13}, {"buy_facebook", 30},
+    {"buy_microsoft", 40}, {"buy_apple", 100},
+};
+
+Invocation ExchangeInvocation(uint64_t i) {
+  uint64_t total = 0;
+  for (const auto& entry : kBuyMix) {
+    total += entry.weight;
+  }
+  uint64_t slot = (i * 2654435761ULL) % total;
+  for (const auto& entry : kBuyMix) {
+    if (slot < entry.weight) {
+      return Invocation{entry.function, {}};
+    }
+    slot -= entry.weight;
+  }
+  return Invocation{"buy_apple", {}};
+}
+
+}  // namespace
+
+Invocation DappWorkload::InvocationFor(uint64_t i) const {
+  if (fixed.has_value()) {
+    return *fixed;
+  }
+  if (name == "exchange") {
+    return ExchangeInvocation(i);
+  }
+  // Per-stock NASDAQ bursts (§6.5): every order buys that one stock.
+  for (const char* stock : {"google", "amazon", "facebook", "microsoft", "apple"}) {
+    if (name == stock) {
+      return Invocation{std::string("buy_") + stock, {}};
+    }
+  }
+  if (name == "dota") {
+    // The §4 workload spec invokes update(1, 1).
+    return Invocation{"update", {1, 1}};
+  }
+  if (name == "fifa") {
+    return Invocation{"add", {}};
+  }
+  if (name == "uber") {
+    // Customer positions spread over the 10,000 x 10,000 grid.
+    const int64_t cx = static_cast<int64_t>((i * 7919) % 10000);
+    const int64_t cy = static_cast<int64_t>((i * 104729) % 10000);
+    return Invocation{"check_distance", {cx, cy}};
+  }
+  if (name == "youtube") {
+    // ~1 KiB of video metadata/payload per upload; far over the AVM's
+    // 128-byte state entries.
+    return Invocation{"upload", {1024}};
+  }
+  throw std::logic_error("unhandled dapp: " + name);
+}
+
+DappWorkload GetDappWorkload(std::string_view name) {
+  const std::string key = ToLower(name);
+  if (key == "exchange" || key == "nasdaq" || key == "gafam") {
+    return DappWorkload{"exchange", "exchange", NasdaqGafamTrace(), std::nullopt};
+  }
+  if (key == "dota") {
+    return DappWorkload{"dota", "dota", DotaTrace(), std::nullopt};
+  }
+  if (key == "fifa") {
+    return DappWorkload{"fifa", "counter", FifaTrace(), std::nullopt};
+  }
+  if (key == "uber") {
+    return DappWorkload{"uber", "uber", UberTrace(), std::nullopt};
+  }
+  if (key == "youtube") {
+    return DappWorkload{"youtube", "youtube", YoutubeTrace(), std::nullopt};
+  }
+  throw std::invalid_argument("unknown DApp workload: " + std::string(name));
+}
+
+const std::vector<std::string>& AllDappNames() {
+  static const std::vector<std::string>* const kNames = new std::vector<std::string>{
+      "exchange", "dota", "fifa", "uber", "youtube"};
+  return *kNames;
+}
+
+}  // namespace diablo

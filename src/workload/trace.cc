@@ -1,0 +1,233 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/support/rng.h"
+#include "src/support/strings.h"
+
+namespace diablo {
+namespace {
+
+// Deterministic per-second jitter in [0, 1).
+double NoiseAt(std::string_view name, size_t second) {
+  uint64_t state = 0xD1AB10;
+  for (const char c : name) {
+    state = state * 131 + static_cast<uint64_t>(c);
+  }
+  state += second * 0x9e3779b97f4a7c15ULL;
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+struct StockSpec {
+  std::string_view name;
+  double peak;
+};
+
+constexpr StockSpec kStocks[] = {
+    {"google", 800.0},    {"amazon", 1300.0},  {"facebook", 3000.0},
+    {"microsoft", 4000.0}, {"apple", 10000.0},
+};
+
+constexpr size_t kNasdaqDuration = 180;  // "runs for 3 minutes" (§3)
+
+}  // namespace
+
+double Trace::AverageTps() const {
+  if (tps.empty()) {
+    return 0.0;
+  }
+  return TotalTxs() / static_cast<double>(tps.size());
+}
+
+double Trace::PeakTps() const {
+  double peak = 0.0;
+  for (const double rate : tps) {
+    peak = std::max(peak, rate);
+  }
+  return peak;
+}
+
+double Trace::TotalTxs() const {
+  double total = 0.0;
+  for (const double rate : tps) {
+    total += rate;
+  }
+  return total;
+}
+
+Trace Trace::Scaled(double factor) const {
+  Trace scaled = *this;
+  for (double& rate : scaled.tps) {
+    rate *= factor;
+  }
+  return scaled;
+}
+
+Trace ConstantTrace(double tps, int seconds) {
+  Trace trace;
+  trace.name = StrFormat("constant-%.0f", tps);
+  trace.tps.assign(static_cast<size_t>(seconds), tps);
+  return trace;
+}
+
+Trace NasdaqStockTrace(std::string_view stock) {
+  for (const StockSpec& spec : kStocks) {
+    if (spec.name == stock) {
+      Trace trace;
+      trace.name = std::string(stock);
+      trace.tps.reserve(kNasdaqDuration);
+      for (size_t s = 0; s < kNasdaqDuration; ++s) {
+        // Opening burst decaying geometrically over the first seconds into a
+        // low tail. The tail is set so that the *accumulated* GAFAM workload
+        // matches §6.1's numbers (168 TPS average, 25-140 TPS tail): the
+        // paper's per-stock tail (10-60 TPS) and accumulated average are
+        // mutually inconsistent, and the accumulated series is the one the
+        // evaluation uses.
+        const double burst = spec.peak * std::pow(0.1, static_cast<double>(s));
+        const double tail = 5.0 + 11.0 * NoiseAt(stock, s);
+        trace.tps.push_back(std::max(burst, tail));
+      }
+      return trace;
+    }
+  }
+  throw std::invalid_argument("unknown NASDAQ stock: " + std::string(stock));
+}
+
+Trace NasdaqGafamTrace() {
+  Trace trace;
+  trace.name = "gafam";
+  trace.tps.assign(kNasdaqDuration, 0.0);
+  double first_second = 0.0;
+  for (const StockSpec& spec : kStocks) {
+    const Trace stock = NasdaqStockTrace(spec.name);
+    first_second += stock.tps[0];
+    for (size_t s = 0; s < kNasdaqDuration; ++s) {
+      trace.tps[s] += stock.tps[s];
+    }
+  }
+  // §3 reports a 19,800 TPS accumulated peak while the five per-stock
+  // bursts sum to 19,100; scale to the published peak.
+  const double factor = 19800.0 / first_second;
+  for (double& rate : trace.tps) {
+    rate *= factor;
+  }
+  return trace;
+}
+
+Trace DotaTrace() {
+  Trace trace;
+  trace.name = "dota";
+  trace.tps.reserve(276);
+  for (size_t s = 0; s < 276; ++s) {
+    // "almost constant update rate of about 13,000 TPS" (§3); the workload
+    // spec example drives 3 clients at 4432-4438 TPS each.
+    trace.tps.push_back(3.0 * (4432.0 + 6.0 * NoiseAt("dota", s)));
+  }
+  return trace;
+}
+
+Trace FifaTrace() {
+  Trace trace;
+  trace.name = "fifa";
+  trace.tps.reserve(176);
+  for (size_t s = 0; s < 176; ++s) {
+    // Rate varying between 1,416 and 5,305 requests per second (§3),
+    // averaging ~3,500: a slow swell with per-second jitter.
+    const double phase = 2.0 * M_PI * static_cast<double>(s) / 176.0;
+    const double base = 3360.0 - 1800.0 * std::cos(phase);
+    const double jitter = 290.0 * (NoiseAt("fifa", s) - 0.5);
+    trace.tps.push_back(std::clamp(base + jitter, 1416.0, 5305.0));
+  }
+  return trace;
+}
+
+Trace UberTrace() {
+  Trace trace;
+  trace.name = "uber";
+  trace.tps.reserve(120);
+  for (size_t s = 0; s < 120; ++s) {
+    // 810-900 TPS for 120 s (§6.4), around the 864 TPS world-wide estimate.
+    trace.tps.push_back(810.0 + 90.0 * NoiseAt("uber", s));
+  }
+  return trace;
+}
+
+Trace YoutubeTrace() {
+  Trace trace;
+  trace.name = "youtube";
+  trace.tps.reserve(120);
+  for (size_t s = 0; s < 120; ++s) {
+    // 467 TPS in 2007 x 83 growth = 38,761 TPS (§3).
+    trace.tps.push_back(38761.0 * (0.99 + 0.02 * NoiseAt("youtube", s)));
+  }
+  return trace;
+}
+
+bool TraceFromCsv(std::string_view csv_text, Trace* out) {
+  out->name = "csv";
+  out->tps.clear();
+  for (const std::string& raw : Split(csv_text, '\n')) {
+    const std::string line = Trim(raw);
+    if (line.empty()) {
+      continue;
+    }
+    const std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != 2) {
+      return false;
+    }
+    int64_t second = 0;
+    double tps = 0;
+    if (!ParseInt64(fields[0], &second)) {
+      // A single header row is tolerated.
+      if (out->tps.empty() && ToLower(Trim(fields[0])) == "second") {
+        continue;
+      }
+      return false;
+    }
+    if (!ParseDouble(fields[1], &tps) || second < 0 || tps < 0) {
+      return false;
+    }
+    if (static_cast<size_t>(second) >= out->tps.size()) {
+      out->tps.resize(static_cast<size_t>(second) + 1, 0.0);
+    }
+    out->tps[static_cast<size_t>(second)] = tps;
+  }
+  return !out->tps.empty();
+}
+
+std::string TraceToCsv(const Trace& trace) {
+  std::string out = "second,tps\n";
+  for (size_t s = 0; s < trace.tps.size(); ++s) {
+    out += StrFormat("%zu,%.3f\n", s, trace.tps[s]);
+  }
+  return out;
+}
+
+Trace GetTrace(std::string_view name) {
+  const std::string key = ToLower(name);
+  if (key == "gafam" || key == "nasdaq") {
+    return NasdaqGafamTrace();
+  }
+  if (key == "dota") {
+    return DotaTrace();
+  }
+  if (key == "fifa") {
+    return FifaTrace();
+  }
+  if (key == "uber") {
+    return UberTrace();
+  }
+  if (key == "youtube") {
+    return YoutubeTrace();
+  }
+  for (const StockSpec& spec : kStocks) {
+    if (key == spec.name) {
+      return NasdaqStockTrace(spec.name);
+    }
+  }
+  throw std::invalid_argument("unknown trace: " + std::string(name));
+}
+
+}  // namespace diablo

@@ -1,0 +1,137 @@
+// Calibration guards: the §6 result *shapes* that EXPERIMENTS.md documents
+// must survive refactoring. Each test pins one headline observation of the
+// paper with tolerances wide enough for legitimate re-tuning.
+#include <gtest/gtest.h>
+
+#include "src/core/runner.h"
+
+namespace diablo {
+namespace {
+
+// --- Fig. 3: scalability at 1,000 TPS ---------------------------------------
+
+TEST(CalibrationFig3, SolanaHandlesEveryConfiguration) {
+  for (const char* deployment : {"datacenter", "community"}) {
+    const RunResult result = RunNativeBenchmark("solana", deployment, 1000, 60);
+    EXPECT_GE(result.report.avg_throughput, 750.0) << deployment;
+    EXPECT_LE(result.report.avg_latency, 21.0) << deployment;
+  }
+}
+
+TEST(CalibrationFig3, DiemShinesOnlyLocally) {
+  const RunResult local = RunNativeBenchmark("diem", "datacenter", 1000, 60);
+  EXPECT_GE(local.report.avg_throughput, 900.0);
+  EXPECT_LE(local.report.avg_latency, 2.0);
+  const RunResult wan = RunNativeBenchmark("diem", "community", 1000, 60);
+  EXPECT_LE(wan.report.avg_throughput, 0.6 * local.report.avg_throughput);
+  EXPECT_GE(wan.report.avg_latency, 5.0 * local.report.avg_latency);
+}
+
+TEST(CalibrationFig3, AvalancheThrottledEverywhere) {
+  for (const char* deployment : {"datacenter", "community"}) {
+    const RunResult result = RunNativeBenchmark("avalanche", deployment, 1000, 60);
+    EXPECT_LE(result.report.avg_throughput, 280.0) << deployment;
+  }
+}
+
+TEST(CalibrationFig3, DatacenterEqualsTestnet) {
+  // §6.2: "no significant difference between the datacenter and the testnet".
+  for (const char* chain : {"quorum", "solana", "algorand"}) {
+    const RunResult dc = RunNativeBenchmark(chain, "datacenter", 1000, 60);
+    const RunResult tn = RunNativeBenchmark(chain, "testnet", 1000, 60);
+    EXPECT_NEAR(dc.report.avg_throughput, tn.report.avg_throughput,
+                0.1 * dc.report.avg_throughput + 10)
+        << chain;
+  }
+}
+
+TEST(CalibrationFig3, AlgorandLatencyBand) {
+  // Table 1: ~885 TPS at ~8.5 s on the testnet.
+  const RunResult result = RunNativeBenchmark("algorand", "testnet", 1000, 120);
+  EXPECT_GE(result.report.avg_throughput, 650.0);
+  EXPECT_LE(result.report.avg_throughput, 1000.0);
+  EXPECT_GE(result.report.avg_latency, 5.0);
+  EXPECT_LE(result.report.avg_latency, 13.0);
+}
+
+// --- Fig. 4: robustness at 10,000 TPS ----------------------------------------
+
+TEST(CalibrationFig4, LeaderBasedBftDegradesHardest) {
+  const RunResult diem_low = RunNativeBenchmark("diem", "datacenter", 1000, 60);
+  const RunResult diem_high = RunNativeBenchmark("diem", "datacenter", 10000, 60);
+  EXPECT_LE(diem_high.report.avg_throughput, diem_low.report.avg_throughput / 5.0);
+
+  const RunResult quorum_high = RunNativeBenchmark("quorum", "datacenter", 10000, 120);
+  EXPECT_LE(quorum_high.report.avg_throughput, 300.0);  // collapse toward zero
+  EXPECT_GT(quorum_high.chain_stats.view_changes, 0u);
+}
+
+TEST(CalibrationFig4, ProbabilisticChainsSurvive) {
+  const RunResult avalanche_low = RunNativeBenchmark("avalanche", "datacenter", 1000, 60);
+  const RunResult avalanche_high =
+      RunNativeBenchmark("avalanche", "datacenter", 10000, 60);
+  // §6.3: Avalanche's throughput is not negatively affected.
+  EXPECT_GE(avalanche_high.report.avg_throughput,
+            0.9 * avalanche_low.report.avg_throughput);
+
+  const RunResult solana_high = RunNativeBenchmark("solana", "datacenter", 10000, 60);
+  EXPECT_GE(solana_high.report.avg_throughput, 200.0);  // degraded, not dead
+}
+
+TEST(CalibrationFig4, EthereumCommitsAlmostNothing) {
+  const RunResult result = RunNativeBenchmark("ethereum", "testnet", 10000, 120);
+  EXPECT_LE(result.report.commit_ratio, 0.03);
+}
+
+// --- Fig. 5: universality -----------------------------------------------------
+
+TEST(CalibrationFig5, OnlyGethChainsRunTheUberDApp) {
+  for (const char* chain : {"algorand", "diem", "solana"}) {
+    const RunResult result = RunDappBenchmark(chain, "consortium", "uber", 1, 0.05);
+    EXPECT_EQ(result.failure_reason, "budget exceeded") << chain;
+  }
+  const RunResult quorum = RunDappBenchmark("quorum", "consortium", "uber", 1, 1.0);
+  EXPECT_GE(quorum.report.avg_throughput, 350.0);
+  const RunResult ethereum = RunDappBenchmark("ethereum", "consortium", "uber", 1, 1.0);
+  EXPECT_LE(ethereum.report.avg_throughput, 169.0);
+  EXPECT_GE(quorum.report.avg_throughput, 5.0 * ethereum.report.avg_throughput);
+}
+
+// --- Fig. 6: availability ------------------------------------------------------
+
+TEST(CalibrationFig6, QuorumAbsorbsTheAppleBurst) {
+  const RunResult result = RunDappBenchmark("quorum", "consortium", "apple");
+  EXPECT_GE(result.report.commit_ratio, 0.99);
+  EXPECT_LE(result.report.median_latency, 10.0);
+}
+
+TEST(CalibrationFig6, DroppingChainsPlateauOnApple) {
+  for (const char* chain : {"algorand", "diem", "solana"}) {
+    const RunResult result = RunDappBenchmark(chain, "consortium", "apple");
+    EXPECT_LE(result.report.commit_ratio, 0.85) << chain;
+    EXPECT_GE(result.report.commit_ratio, 0.30) << chain;
+  }
+}
+
+TEST(CalibrationFig6, EveryoneHandlesTheGoogleBurst) {
+  // §6.5: all chains commit >97% of the Google workload.
+  for (const char* chain : {"algorand", "avalanche", "diem", "quorum", "solana"}) {
+    const RunResult result = RunDappBenchmark(chain, "consortium", "google");
+    EXPECT_GE(result.report.commit_ratio, 0.97) << chain;
+  }
+}
+
+// --- Fig. 2: the headline ------------------------------------------------------
+
+TEST(CalibrationFig2, NobodySurvivesYoutube) {
+  // §6.1: the proportion of commits is lower than 1% for all evaluated
+  // blockchains (checked at 10% workload scale to keep the test quick; the
+  // overload is ~40x even then).
+  for (const char* chain : {"quorum", "solana"}) {
+    const RunResult result = RunDappBenchmark(chain, "consortium", "youtube", 1, 0.1);
+    EXPECT_LE(result.report.commit_ratio, 0.10) << chain;
+  }
+}
+
+}  // namespace
+}  // namespace diablo

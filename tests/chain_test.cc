@@ -1,0 +1,413 @@
+#include <gtest/gtest.h>
+
+#include "src/chain/block.h"
+#include "src/chain/execution.h"
+#include "src/chain/mempool.h"
+#include "src/chain/node.h"
+#include "src/chain/tx.h"
+#include "src/chain/vote_round.h"
+#include "src/chains/params.h"
+
+namespace diablo {
+namespace {
+
+TEST(TxStoreTest, AddAndPhaseCounts) {
+  TxStore store;
+  Transaction tx;
+  tx.account = 7;
+  const TxId a = store.Add(tx);
+  const TxId b = store.Add(tx);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  store.at(b).phase = TxPhase::kCommitted;
+  const auto counts = store.PhaseCounts();
+  EXPECT_EQ(counts[static_cast<size_t>(TxPhase::kCreated)], 1u);
+  EXPECT_EQ(counts[static_cast<size_t>(TxPhase::kCommitted)], 1u);
+}
+
+TEST(TxTest, LatencyComputation) {
+  Transaction tx;
+  EXPECT_DOUBLE_EQ(tx.LatencySeconds(), -1.0);
+  tx.submit_time = Seconds(1);
+  tx.commit_time = Seconds(4);
+  EXPECT_DOUBLE_EQ(tx.LatencySeconds(), 3.0);
+}
+
+TEST(TxTest, PhaseNames) {
+  EXPECT_EQ(TxPhaseName(TxPhase::kCommitted), "committed");
+  EXPECT_EQ(TxPhaseName(TxPhase::kDropped), "dropped");
+}
+
+TEST(LedgerTest, AppendAndDigest) {
+  Ledger ledger;
+  EXPECT_TRUE(ledger.empty());
+  EXPECT_EQ(ledger.next_height(), 1u);
+  Block block;
+  block.height = 1;
+  block.txs = {0, 1, 2};
+  ledger.Append(block);
+  EXPECT_EQ(ledger.block_count(), 1u);
+  EXPECT_EQ(ledger.total_txs(), 3u);
+  EXPECT_EQ(ledger.next_height(), 2u);
+  const Digest256 d1 = ledger.HeaderChainDigest();
+  Block second;
+  second.height = 2;
+  ledger.Append(second);
+  EXPECT_NE(ledger.HeaderChainDigest(), d1);
+}
+
+TEST(MempoolTest, FifoByReadiness) {
+  Mempool pool(MempoolConfig{});
+  pool.Add(0, 1, Seconds(0), Seconds(2));
+  pool.Add(1, 1, Seconds(0), Seconds(1));
+  pool.Add(2, 1, Seconds(0), Seconds(3));
+  std::vector<TxId> expired;
+  const auto taken = pool.TakeReady(Seconds(10), 0, 0, 100, [](TxId) { return 1; }, [](TxId) { return 110; }, &expired);
+  EXPECT_EQ(taken, (std::vector<TxId>{1, 0, 2}));
+  EXPECT_TRUE(expired.empty());
+}
+
+TEST(MempoolTest, ReadinessGates) {
+  Mempool pool(MempoolConfig{});
+  pool.Add(0, 1, Seconds(0), Seconds(5));
+  std::vector<TxId> expired;
+  EXPECT_TRUE(pool.TakeReady(Seconds(4), 0, 0, 10, [](TxId) { return 1; }, [](TxId) { return 110; }, &expired).empty());
+  EXPECT_EQ(pool.TakeReady(Seconds(5), 0, 0, 10, [](TxId) { return 1; }, [](TxId) { return 110; }, &expired).size(), 1u);
+}
+
+TEST(MempoolTest, GlobalCap) {
+  MempoolConfig config;
+  config.global_cap = 2;
+  Mempool pool(config);
+  EXPECT_EQ(pool.Add(0, 1, 0, 0), AdmitResult::kAdmitted);
+  EXPECT_EQ(pool.Add(1, 2, 0, 0), AdmitResult::kAdmitted);
+  EXPECT_EQ(pool.Add(2, 3, 0, 0), AdmitResult::kPoolFull);
+  EXPECT_EQ(pool.rejected(), 1u);
+  std::vector<TxId> expired;
+  pool.TakeReady(Seconds(1), 0, 0, 10, [](TxId) { return 1; }, [](TxId) { return 110; }, &expired);
+  EXPECT_EQ(pool.Add(2, 3, 0, 0), AdmitResult::kAdmitted);
+}
+
+TEST(MempoolTest, PerSignerCapReleasedOnTake) {
+  MempoolConfig config;
+  config.per_signer_cap = 2;
+  Mempool pool(config);
+  EXPECT_EQ(pool.Add(0, 9, 0, 0), AdmitResult::kAdmitted);
+  EXPECT_EQ(pool.Add(1, 9, 0, 0), AdmitResult::kAdmitted);
+  EXPECT_EQ(pool.Add(2, 9, 0, 0), AdmitResult::kSignerCapReached);
+  // Another signer is unaffected.
+  EXPECT_EQ(pool.Add(3, 10, 0, 0), AdmitResult::kAdmitted);
+  std::vector<TxId> expired;
+  pool.TakeReady(Seconds(1), 0, 0, 1, [](TxId) { return 1; }, [](TxId) { return 110; }, &expired);
+  EXPECT_EQ(pool.Add(2, 9, 0, 0), AdmitResult::kAdmitted);
+}
+
+TEST(MempoolTest, GasBudgetStopsTake) {
+  Mempool pool(MempoolConfig{});
+  for (TxId id = 0; id < 5; ++id) {
+    pool.Add(id, id, 0, 0);
+  }
+  std::vector<TxId> expired;
+  const auto taken =
+      pool.TakeReady(Seconds(1), /*gas_budget=*/250, 0, 10, [](TxId) { return 100; }, [](TxId) { return 110; }, &expired);
+  EXPECT_EQ(taken.size(), 2u);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(MempoolTest, OversizedTxExpiredNotWedged) {
+  Mempool pool(MempoolConfig{});
+  pool.Add(0, 1, 0, 0);  // gas 1000 > budget
+  pool.Add(1, 2, 0, 0);  // gas 10
+  std::vector<TxId> expired;
+  const auto taken = pool.TakeReady(
+      Seconds(1), /*gas_budget=*/100, 0, 10,
+      [](TxId id) { return id == 0 ? 1000 : 10; }, [](TxId) { return 110; }, &expired);
+  EXPECT_EQ(taken, (std::vector<TxId>{1}));
+  EXPECT_EQ(expired, (std::vector<TxId>{0}));
+}
+
+TEST(MempoolTest, EvictOnFullReplacesRandomVictim) {
+  MempoolConfig config;
+  config.global_cap = 4;
+  config.evict_on_full = true;
+  Rng rng(99);
+  Mempool pool(config, &rng);
+  for (TxId id = 0; id < 4; ++id) {
+    TxId evicted = kInvalidTx;
+    EXPECT_EQ(pool.Add(id, id, 0, 0, &evicted), AdmitResult::kAdmitted);
+    EXPECT_EQ(evicted, kInvalidTx);
+  }
+  // The pool is full: the next admission evicts one of the four.
+  TxId evicted = kInvalidTx;
+  EXPECT_EQ(pool.Add(4, 4, 0, 0, &evicted), AdmitResult::kAdmitted);
+  EXPECT_NE(evicted, kInvalidTx);
+  EXPECT_LT(evicted, 4u);
+  EXPECT_EQ(pool.size(), 4u);
+  EXPECT_EQ(pool.evictions(), 1u);
+
+  // TakeReady never returns the zombie.
+  std::vector<TxId> expired;
+  const auto taken = pool.TakeReady(Seconds(1), 0, 0, 10, [](TxId) { return 1; }, [](TxId) { return 110; }, &expired);
+  EXPECT_EQ(taken.size(), 4u);
+  for (const TxId id : taken) {
+    EXPECT_NE(id, evicted);
+  }
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(MempoolTest, EvictionChurnKeepsPoolAtCap) {
+  MempoolConfig config;
+  config.global_cap = 100;
+  config.evict_on_full = true;
+  Rng rng(7);
+  Mempool pool(config, &rng);
+  for (TxId id = 0; id < 10000; ++id) {
+    TxId evicted = kInvalidTx;
+    ASSERT_EQ(pool.Add(id, id % 32, 0, 0, &evicted), AdmitResult::kAdmitted);
+  }
+  EXPECT_EQ(pool.size(), 100u);
+  EXPECT_EQ(pool.evictions(), 9900u);
+  std::vector<TxId> expired;
+  const auto taken = pool.TakeReady(Seconds(1), 0, 0, 200, [](TxId) { return 1; }, [](TxId) { return 110; }, &expired);
+  EXPECT_EQ(taken.size(), 100u);
+  EXPECT_TRUE(expired.empty());
+}
+
+TEST(MempoolTest, EvictionDisabledWithoutRng) {
+  MempoolConfig config;
+  config.global_cap = 1;
+  config.evict_on_full = true;
+  Mempool pool(config, nullptr);
+  EXPECT_EQ(pool.Add(0, 0, 0, 0), AdmitResult::kAdmitted);
+  EXPECT_EQ(pool.Add(1, 1, 0, 0), AdmitResult::kPoolFull);
+}
+
+TEST(MempoolTest, ByteBudgetStopsTake) {
+  Mempool pool(MempoolConfig{});
+  for (TxId id = 0; id < 6; ++id) {
+    pool.Add(id, id, 0, 0);
+  }
+  std::vector<TxId> expired;
+  // Each tx is 400 bytes; a 1000-byte block fits two.
+  const auto taken = pool.TakeReady(
+      Seconds(1), 0, /*byte_budget=*/1000, 10, [](TxId) { return 1; },
+      [](TxId) { return 400; }, &expired);
+  EXPECT_EQ(taken.size(), 2u);
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(MempoolTest, TtlExpiry) {
+  MempoolConfig config;
+  config.ttl = Seconds(10);
+  Mempool pool(config);
+  pool.Add(0, 1, /*ingress=*/Seconds(0), /*ready=*/Seconds(1));
+  pool.Add(1, 1, /*ingress=*/Seconds(15), /*ready=*/Seconds(16));
+  std::vector<TxId> expired;
+  const auto taken = pool.TakeReady(Seconds(20), 0, 0, 10, [](TxId) { return 1; }, [](TxId) { return 110; }, &expired);
+  EXPECT_EQ(taken, (std::vector<TxId>{1}));
+  EXPECT_EQ(expired, (std::vector<TxId>{0}));
+}
+
+TEST(VoteRoundTest, ByzantineQuorums) {
+  EXPECT_EQ(ByzantineQuorum(4), 3);
+  EXPECT_EQ(ByzantineQuorum(7), 5);
+  EXPECT_EQ(ByzantineQuorum(10), 7);
+  EXPECT_EQ(ByzantineQuorum(200), 133);
+}
+
+TEST(VoteRoundTest, QuorumArrivalBasics) {
+  Simulation sim(3);
+  Network net(&sim, 0.0);
+  std::vector<HostId> hosts;
+  for (int i = 0; i < 4; ++i) {
+    hosts.push_back(net.AddHost(Region::kOhio));
+  }
+  PairwiseDelays delays(&net, hosts, 256);
+  // Everyone sends at t=0; quorum of 3 at receiver 0 is the 3rd earliest
+  // arrival (self-vote at 0 counts).
+  std::vector<SimDuration> sends(4, 0);
+  const SimDuration q3 = QuorumArrival(delays, sends, 0, 3);
+  EXPECT_GT(q3, 0);
+  EXPECT_LT(q3, Milliseconds(5));
+  // Quorum of all 4 is later or equal.
+  EXPECT_LE(q3, QuorumArrival(delays, sends, 0, 4));
+  // Unreachable senders reduce the vote count.
+  sends[1] = kUnreachable;
+  sends[2] = kUnreachable;
+  EXPECT_EQ(QuorumArrival(delays, sends, 0, 3), kUnreachable);
+}
+
+TEST(VoteRoundTest, MedianDelay) {
+  EXPECT_EQ(MedianDelay({}), kUnreachable);
+  EXPECT_EQ(MedianDelay({Seconds(5)}), Seconds(5));
+  EXPECT_EQ(MedianDelay({Seconds(1), kUnreachable, Seconds(3), Seconds(2)}), Seconds(2));
+}
+
+TEST(ExecutionModelTest, ScalesWithVcpus) {
+  ExecutionModel model;
+  model.gas_per_second_per_vcpu = 100e6;
+  EXPECT_EQ(model.ExecTime(100'000'000, 1), Seconds(1));
+  EXPECT_EQ(model.ExecTime(100'000'000, 4), Milliseconds(250));
+}
+
+TEST(CostOracleTest, DeploysAndProfiles) {
+  CostOracle oracle(VmDialect::kGeth);
+  const int exchange = oracle.Deploy(*FindContract("exchange"));
+  ASSERT_GE(exchange, 0);
+  const CallProfile& buy = oracle.Profile(exchange, "buy_apple", {});
+  EXPECT_EQ(buy.status, VmStatus::kOk);
+  EXPECT_GT(buy.gas, LimitsOf(VmDialect::kGeth).intrinsic_gas);
+  // Cached: same object returned.
+  EXPECT_EQ(&oracle.Profile(exchange, "buy_apple", {}), &buy);
+  EXPECT_EQ(oracle.ContractName(exchange), "exchange");
+  EXPECT_GE(oracle.FunctionIndex(exchange, "buy_google"), 0);
+  EXPECT_EQ(oracle.FunctionIndex(exchange, "nope"), -1);
+}
+
+TEST(CostOracleTest, UberBudgetExceededOnCappedDialects) {
+  for (const VmDialect dialect :
+       {VmDialect::kAvm, VmDialect::kMoveVm, VmDialect::kEbpf}) {
+    CostOracle oracle(dialect);
+    const int uber = oracle.Deploy(*FindContract("uber"));
+    ASSERT_GE(uber, 0) << DialectName(dialect);
+    EXPECT_EQ(oracle.Profile(uber, "check_distance", {5000, 5000}).status,
+              VmStatus::kBudgetExceeded)
+        << DialectName(dialect);
+  }
+  CostOracle geth(VmDialect::kGeth);
+  const int uber = geth.Deploy(*FindContract("uber"));
+  EXPECT_EQ(geth.Profile(uber, "check_distance", {5000, 5000}).status, VmStatus::kOk);
+}
+
+TEST(CostOracleTest, YoutubeUndeployableOnAvm) {
+  CostOracle avm(VmDialect::kAvm);
+  EXPECT_EQ(avm.Deploy(*FindContract("youtube")), -1);
+  CostOracle geth(VmDialect::kGeth);
+  EXPECT_GE(geth.Deploy(*FindContract("youtube")), 0);
+}
+
+TEST(ChainContextTest, SubmitBuildFinalize) {
+  Simulation sim(11);
+  Network net(&sim);
+  ChainParams params = GetChainParams("quorum");
+  ChainContext ctx(&sim, &net, GetDeployment("testnet"), params);
+  EXPECT_EQ(ctx.node_count(), 10);
+  EXPECT_EQ(ctx.hosts().size(), 10u);
+
+  // Encode three native transfers.
+  std::vector<TxId> ids;
+  for (int i = 0; i < 3; ++i) {
+    Transaction tx;
+    tx.account = static_cast<uint32_t>(i);
+    tx.gas = NativeTransferGas(params.dialect);
+    tx.size_bytes = kNativeTransferBytes;
+    tx.submit_time = 0;
+    ids.push_back(ctx.txs().Add(tx));
+  }
+  int completions = 0;
+  ctx.on_tx_complete = [&](TxId) { ++completions; };
+
+  for (const TxId id : ids) {
+    EXPECT_TRUE(ctx.SubmitAtEndpoint(id, 0, 0));
+    EXPECT_EQ(ctx.txs().at(id).phase, TxPhase::kSubmitted);
+  }
+  EXPECT_EQ(ctx.mempool().size(), 3u);
+
+  // Nothing is ready immediately (gossip latency), everything within 2 s.
+  ChainContext::BuiltBlock empty = ctx.BuildBlock(0, 0);
+  EXPECT_TRUE(empty.txs.empty());
+  ChainContext::BuiltBlock full = ctx.BuildBlock(Seconds(2), 0);
+  EXPECT_EQ(full.txs.size(), 3u);
+  EXPECT_GT(full.gas, 0);
+  EXPECT_GT(full.bytes, kBlockHeaderBytes);
+  EXPECT_GT(full.build_time, 0);
+
+  ctx.FinalizeBlock(1, 0, std::move(full), Seconds(2), Seconds(3));
+  EXPECT_EQ(completions, 3);
+  EXPECT_EQ(ctx.stats().txs_committed, 3u);
+  EXPECT_EQ(ctx.ledger().block_count(), 1u);
+  for (const TxId id : ids) {
+    EXPECT_EQ(ctx.txs().at(id).phase, TxPhase::kCommitted);
+    EXPECT_GE(ctx.txs().at(id).commit_time, Seconds(3));
+  }
+}
+
+TEST(ChainContextTest, CongestionShrinksBlocks) {
+  Simulation sim(13);
+  Network net(&sim);
+  ChainParams params = GetChainParams("solana");
+  params.congestion_threshold = 10;
+  params.max_block_txs = 100;
+  params.mempool.global_cap = 0;
+  params.mempool.ttl = 0;
+  ChainContext ctx(&sim, &net, GetDeployment("testnet"), params);
+  for (int i = 0; i < 1000; ++i) {
+    Transaction tx;
+    tx.account = static_cast<uint32_t>(i);
+    tx.gas = 1000;
+    tx.size_bytes = 100;
+    const TxId id = ctx.txs().Add(tx);
+    ASSERT_TRUE(ctx.SubmitAtEndpoint(id, 0, 0));
+  }
+  // Pool of ~1000 vs threshold 10 -> capacity collapses to ~1 tx per block.
+  const ChainContext::BuiltBlock block = ctx.BuildBlock(Seconds(5), 0);
+  EXPECT_LE(block.txs.size(), 5u);
+  EXPECT_GE(block.txs.size(), 1u);
+}
+
+TEST(ChainContextTest, DroppedTxReported) {
+  Simulation sim(17);
+  Network net(&sim);
+  ChainParams params = GetChainParams("ethereum");
+  params.mempool.global_cap = 1;
+  params.mempool.evict_on_full = false;  // reject instead of replacing
+  ChainContext ctx(&sim, &net, GetDeployment("testnet"), params);
+  std::vector<TxId> completed;
+  ctx.on_tx_complete = [&](TxId id) { completed.push_back(id); };
+  Transaction tx;
+  tx.gas = 21000;
+  tx.size_bytes = 110;
+  const TxId a = ctx.txs().Add(tx);
+  const TxId b = ctx.txs().Add(tx);
+  EXPECT_TRUE(ctx.SubmitAtEndpoint(a, 0, 0));
+  EXPECT_FALSE(ctx.SubmitAtEndpoint(b, 0, 0));
+  EXPECT_EQ(ctx.txs().at(b).phase, TxPhase::kDropped);
+  EXPECT_EQ(completed, (std::vector<TxId>{b}));
+  EXPECT_EQ(ctx.stats().txs_dropped, 1u);
+}
+
+TEST(ChainParamsTest, TableFourCharacteristics) {
+  // Table 4 of the paper.
+  const ChainParams algorand = GetChainParams("algorand");
+  EXPECT_EQ(algorand.property, "prob.");
+  EXPECT_EQ(algorand.vm_name, "AVM");
+  EXPECT_EQ(algorand.dapp_language, "PyTeal");
+
+  const ChainParams diem = GetChainParams("diem");
+  EXPECT_EQ(diem.property, "det.");
+  EXPECT_EQ(diem.consensus_name, "HotStuff");
+  EXPECT_EQ(diem.mempool.per_signer_cap, 100u);  // §5.2
+
+  const ChainParams quorum = GetChainParams("quorum");
+  EXPECT_EQ(quorum.consensus_name, "IBFT");
+  EXPECT_EQ(quorum.mempool.global_cap, 0u);  // never drops
+
+  const ChainParams avalanche = GetChainParams("avalanche");
+  EXPECT_EQ(avalanche.block_gas_limit, 8'000'000);           // §5.2
+  EXPECT_GE(avalanche.block_interval, MillisecondsF(1900));  // §5.2
+
+  const ChainParams solana = GetChainParams("solana");
+  EXPECT_EQ(solana.confirmation_depth, 30);            // §5.2
+  EXPECT_EQ(solana.slot_duration, Milliseconds(400));  // §5.2
+  EXPECT_EQ(solana.mempool.ttl, Seconds(120));         // §5.2
+
+  const ChainParams ethereum = GetChainParams("ethereum");
+  EXPECT_EQ(ethereum.consensus_name, "Clique");
+  EXPECT_GT(ethereum.confirmation_depth, 0);
+
+  EXPECT_THROW(GetChainParams("bitcoin"), std::invalid_argument);
+  EXPECT_EQ(AllChainParams().size(), 6u);
+}
+
+}  // namespace
+}  // namespace diablo

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "src/config/spec.h"
+#include "src/config/yaml.h"
+
+namespace diablo {
+namespace {
+
+// The gaming DApp configuration of §4, verbatim.
+constexpr char kPaperSpec[] = R"yaml(let:
+  - &loc { sample: !location [ "us-east-2" ] }
+  - &end { sample: !endpoint [ ".*" ] }
+  - &acc { sample: !account { number: 2000 } }
+  - &dapp { sample: !contract { name: "dota" } }
+workloads:
+  - number: 3
+    client:
+      location: *loc
+      view: *end
+      behavior:
+        - interaction: !invoke
+            from: *acc
+            contract: *dapp
+            function: "update(1, 1)"
+          load:
+            0: 4432
+            50: 4438
+            120: 0
+)yaml";
+
+TEST(YamlTest, ScalarsAndNesting) {
+  const YamlResult result = ParseYaml("a: 1\nb:\n  c: hello\n  d: 2.5\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_TRUE(result.root.IsMap());
+  EXPECT_EQ(result.root.GetInt("a", 0), 1);
+  const YamlNode* b = result.root.Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->GetString("c", ""), "hello");
+  double d = 0;
+  EXPECT_TRUE(b->Find("d")->AsDouble(&d));
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_EQ(result.root.Find("zzz"), nullptr);
+}
+
+TEST(YamlTest, BlockSequences) {
+  const YamlResult result = ParseYaml("items:\n  - one\n  - two\n  - 3\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const YamlNode* items = result.root.Find("items");
+  ASSERT_TRUE(items->IsList());
+  ASSERT_EQ(items->items.size(), 3u);
+  EXPECT_EQ(items->items[0].scalar, "one");
+  int64_t three = 0;
+  EXPECT_TRUE(items->items[2].AsInt64(&three));
+  EXPECT_EQ(three, 3);
+}
+
+TEST(YamlTest, CompactMappingItems) {
+  const YamlResult result =
+      ParseYaml("list:\n  - name: a\n    size: 1\n  - name: b\n    size: 2\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const YamlNode* list = result.root.Find("list");
+  ASSERT_TRUE(list->IsList());
+  ASSERT_EQ(list->items.size(), 2u);
+  EXPECT_EQ(list->items[0].GetString("name", ""), "a");
+  EXPECT_EQ(list->items[1].GetInt("size", 0), 2);
+}
+
+TEST(YamlTest, FlowCollections) {
+  const YamlResult result = ParseYaml(R"(inline: { a: 1, b: [x, "y z", 3] })");
+  ASSERT_TRUE(result.ok) << result.error;
+  const YamlNode* node = result.root.Find("inline");
+  ASSERT_TRUE(node->IsMap());
+  EXPECT_EQ(node->GetInt("a", 0), 1);
+  const YamlNode* b = node->Find("b");
+  ASSERT_TRUE(b->IsList());
+  ASSERT_EQ(b->items.size(), 3u);
+  EXPECT_EQ(b->items[1].scalar, "y z");
+}
+
+TEST(YamlTest, AnchorsAndAliases) {
+  const YamlResult result = ParseYaml("a: &x 42\nb: *x\nc: *x\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.root.GetInt("b", 0), 42);
+  EXPECT_EQ(result.root.GetInt("c", 0), 42);
+}
+
+TEST(YamlTest, TagsPreserved) {
+  const YamlResult result = ParseYaml("k: !invoke\n  f: 1\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const YamlNode* k = result.root.Find("k");
+  EXPECT_EQ(k->tag, "invoke");
+  EXPECT_TRUE(k->IsMap());
+  EXPECT_EQ(k->GetInt("f", 0), 1);
+}
+
+TEST(YamlTest, CommentsStripped) {
+  const YamlResult result =
+      ParseYaml("# header\na: 1  # trailing\nb: \"has # inside\"\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.root.GetInt("a", 0), 1);
+  EXPECT_EQ(result.root.GetString("b", ""), "has # inside");
+}
+
+TEST(YamlTest, ErrorsReported) {
+  EXPECT_FALSE(ParseYaml("a: *nope\n").ok);
+  EXPECT_FALSE(ParseYaml("a: [1, 2\n").ok);
+  const YamlResult result = ParseYaml("a: 1\nb: *missing\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("line 2"), std::string::npos);
+}
+
+TEST(SpecTest, ParsesPaperExample) {
+  const SpecResult result = ParseWorkloadSpec(kPaperSpec);
+  ASSERT_TRUE(result.ok) << result.error;
+  const WorkloadSpec& spec = result.spec;
+  ASSERT_EQ(spec.groups.size(), 1u);
+  const WorkloadGroup& group = spec.groups[0];
+  EXPECT_EQ(group.clients, 3);
+  ASSERT_EQ(group.locations.size(), 1u);
+  EXPECT_EQ(group.locations[0], "us-east-2");
+  ASSERT_EQ(group.endpoints.size(), 1u);
+  EXPECT_EQ(group.endpoints[0], ".*");
+  ASSERT_EQ(group.behaviors.size(), 1u);
+  const ClientBehavior& behavior = group.behaviors[0];
+  EXPECT_EQ(behavior.interaction, "invoke");
+  EXPECT_EQ(behavior.contract, "dota");
+  EXPECT_EQ(behavior.function, "update");
+  EXPECT_EQ(behavior.args, (std::vector<int64_t>{1, 1}));
+  EXPECT_EQ(behavior.accounts, 2000);
+  ASSERT_EQ(behavior.load.size(), 3u);
+  EXPECT_DOUBLE_EQ(behavior.load[0].tps, 4432);
+  EXPECT_DOUBLE_EQ(behavior.load[1].at_seconds, 50);
+  EXPECT_DOUBLE_EQ(behavior.load[2].tps, 0);
+  EXPECT_EQ(spec.TotalAccounts(), 2000);
+  EXPECT_EQ(spec.PrimaryContract(), "dota");
+}
+
+TEST(SpecTest, TraceAggregatesClients) {
+  const SpecResult result = ParseWorkloadSpec(kPaperSpec);
+  ASSERT_TRUE(result.ok) << result.error;
+  const Trace trace = result.spec.ToTrace();
+  // §4: 3 clients at 4432 TPS for 50 s, then 4438 TPS until 120 s.
+  ASSERT_EQ(trace.duration_seconds(), 120u);
+  EXPECT_DOUBLE_EQ(trace.tps[0], 3 * 4432.0);
+  EXPECT_DOUBLE_EQ(trace.tps[49], 3 * 4432.0);
+  EXPECT_DOUBLE_EQ(trace.tps[50], 3 * 4438.0);
+  EXPECT_DOUBLE_EQ(trace.tps[119], 3 * 4438.0);
+}
+
+TEST(SpecTest, TransferWorkload) {
+  const SpecResult result = ParseWorkloadSpec(R"(workloads:
+  - number: 2
+    client:
+      behavior:
+        - interaction: !transfer
+          load:
+            0: 500
+            120: 0
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.spec.PrimaryContract(), "");
+  const Trace trace = result.spec.ToTrace();
+  EXPECT_DOUBLE_EQ(trace.tps[0], 1000.0);
+  EXPECT_EQ(trace.duration_seconds(), 120u);
+}
+
+TEST(SpecTest, Errors) {
+  EXPECT_FALSE(ParseWorkloadSpec("nothing: here\n").ok);
+  EXPECT_FALSE(ParseWorkloadSpec("workloads:\n  - client:\n      behavior:\n").ok);
+}
+
+TEST(FunctionRefTest, Parsing) {
+  std::string name;
+  std::vector<int64_t> args;
+  EXPECT_TRUE(ParseFunctionRef("update(1, 1)", &name, &args));
+  EXPECT_EQ(name, "update");
+  EXPECT_EQ(args, (std::vector<int64_t>{1, 1}));
+  EXPECT_TRUE(ParseFunctionRef("add", &name, &args));
+  EXPECT_EQ(name, "add");
+  EXPECT_TRUE(args.empty());
+  EXPECT_TRUE(ParseFunctionRef("f()", &name, &args));
+  EXPECT_TRUE(args.empty());
+  EXPECT_FALSE(ParseFunctionRef("f(1", &name, &args));
+  EXPECT_FALSE(ParseFunctionRef("f(x)", &name, &args));
+  EXPECT_FALSE(ParseFunctionRef("", &name, &args));
+}
+
+}  // namespace
+}  // namespace diablo

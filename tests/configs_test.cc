@@ -1,0 +1,116 @@
+// The shipped configuration files (configs/) must stay parseable and
+// runnable — they are the artifact's workload-native-10 / workload-contract
+// experiments (§A.3/§A.4) plus the paper's §4 example.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "src/config/spec.h"
+#include "src/core/primary.h"
+#include "src/workload/trace.h"
+
+namespace diablo {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file) << path;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+// Tests run from build/tests; the configs live at the repository root.
+std::string ConfigPath(const std::string& name) {
+  for (const char* prefix : {"../../configs/", "configs/", "../configs/"}) {
+    std::ifstream probe(prefix + name);
+    if (probe) {
+      return prefix + name;
+    }
+  }
+  return "configs/" + name;
+}
+
+class ShippedConfigTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShippedConfigTest, ParsesAndAggregates) {
+  const SpecResult result = ParseWorkloadSpec(ReadFile(ConfigPath(GetParam())));
+  ASSERT_TRUE(result.ok) << GetParam() << ": " << result.error;
+  EXPECT_FALSE(result.spec.groups.empty());
+  EXPECT_GT(result.spec.ToTrace().TotalTxs(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFiles, ShippedConfigTest,
+                         ::testing::Values("workload-native-10.yaml",
+                                           "workload-native-100.yaml",
+                                           "workload-contract-10.yaml",
+                                           "workload-dota.yaml",
+                                           "workload-uber.yaml"));
+
+TEST(ShippedConfigTest, ArtifactExperimentE1RunsAtBothRates) {
+  // E1 (§A.4): the 10 TPS and 100 TPS native workloads produce different
+  // results on the same chain — the experimental setting matters.
+  BenchmarkSetup setup;
+  setup.chain = "algorand";
+  setup.deployment = "testnet";
+  Primary primary(setup);
+
+  const SpecResult ten =
+      ParseWorkloadSpec(ReadFile(ConfigPath("workload-native-10.yaml")));
+  const SpecResult hundred =
+      ParseWorkloadSpec(ReadFile(ConfigPath("workload-native-100.yaml")));
+  ASSERT_TRUE(ten.ok && hundred.ok);
+  const RunResult low = primary.RunSpec(ten.spec);
+  const RunResult high = primary.RunSpec(hundred.spec);
+  EXPECT_EQ(low.report.submitted, 300u);
+  EXPECT_EQ(high.report.submitted, 3000u);
+  EXPECT_GT(high.report.avg_throughput, 2.0 * low.report.avg_throughput);
+}
+
+TEST(ShippedConfigTest, ArtifactExperimentE2BudgetExceeded) {
+  // E2 (§A.4): the Uber workload fails with "budget exceeded" on Solana.
+  const SpecResult spec =
+      ParseWorkloadSpec(ReadFile(ConfigPath("workload-uber.yaml")));
+  ASSERT_TRUE(spec.ok) << spec.error;
+  BenchmarkSetup setup;
+  setup.chain = "solana";
+  setup.deployment = "testnet";
+  setup.scale = 0.02;
+  Primary primary(setup);
+  const RunResult result = primary.RunSpec(spec.spec);
+  EXPECT_EQ(result.failure_reason, "budget exceeded");
+  EXPECT_EQ(result.report.committed, 0u);
+}
+
+TEST(TraceCsvTest, RoundTrip) {
+  const Trace original = UberTrace();
+  Trace parsed;
+  ASSERT_TRUE(TraceFromCsv(TraceToCsv(original), &parsed));
+  ASSERT_EQ(parsed.tps.size(), original.tps.size());
+  for (size_t s = 0; s < original.tps.size(); ++s) {
+    EXPECT_NEAR(parsed.tps[s], original.tps[s], 0.001);
+  }
+}
+
+TEST(TraceCsvTest, GapsFillWithZero) {
+  Trace trace;
+  ASSERT_TRUE(TraceFromCsv("0,100\n3,50\n", &trace));
+  ASSERT_EQ(trace.tps.size(), 4u);
+  EXPECT_DOUBLE_EQ(trace.tps[0], 100.0);
+  EXPECT_DOUBLE_EQ(trace.tps[1], 0.0);
+  EXPECT_DOUBLE_EQ(trace.tps[3], 50.0);
+}
+
+TEST(TraceCsvTest, HeaderToleratedErrorsRejected) {
+  Trace trace;
+  EXPECT_TRUE(TraceFromCsv("second,tps\n0,10\n", &trace));
+  EXPECT_FALSE(TraceFromCsv("", &trace));
+  EXPECT_FALSE(TraceFromCsv("a,b,c\n", &trace));
+  EXPECT_FALSE(TraceFromCsv("0,-5\n", &trace));
+  EXPECT_FALSE(TraceFromCsv("-1,5\n", &trace));
+  EXPECT_FALSE(TraceFromCsv("0,xyz\n", &trace));
+}
+
+}  // namespace
+}  // namespace diablo

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/crypto/merkle.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/signature.h"
+#include "src/crypto/sortition.h"
+
+namespace diablo {
+namespace {
+
+// FIPS 180-4 test vectors.
+TEST(Sha256Test, KnownVectors) {
+  EXPECT_EQ(DigestHex(Sha256Digest("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(DigestHex(Sha256Digest("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(DigestHex(Sha256Digest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    hasher.Update(chunk);
+  }
+  EXPECT_EQ(DigestHex(hasher.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Sha256 hasher;
+  hasher.Update("hello ");
+  hasher.Update("world");
+  EXPECT_EQ(hasher.Finish(), Sha256Digest("hello world"));
+}
+
+TEST(Sha256Test, BoundaryLengths) {
+  // Exercise padding around the 55/56/64-byte boundaries.
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string data(len, 'x');
+    Sha256 incremental;
+    for (char c : data) {
+      incremental.Update(&c, 1);
+    }
+    EXPECT_EQ(incremental.Finish(), Sha256Digest(data)) << len;
+  }
+}
+
+TEST(Sha256Test, PrefixAndHex) {
+  const Digest256 d = Sha256Digest("abc");
+  EXPECT_EQ(DigestPrefix64(d) & 0xff, 0xba);
+  EXPECT_EQ(DigestHex(d).size(), 64u);
+}
+
+TEST(MerkleTest, EmptyAndSingle) {
+  EXPECT_EQ(MerkleRoot({}), Sha256Digest(""));
+  const Digest256 leaf = Sha256Digest("tx");
+  EXPECT_EQ(MerkleRoot({leaf}), leaf);
+}
+
+TEST(MerkleTest, RootChangesWithAnyLeaf) {
+  std::vector<Digest256> leaves;
+  for (int i = 0; i < 8; ++i) {
+    leaves.push_back(Sha256Digest(std::string("tx") + std::to_string(i)));
+  }
+  const Digest256 root = MerkleRoot(leaves);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i] = Sha256Digest("evil");
+    EXPECT_NE(MerkleRoot(mutated), root) << i;
+  }
+}
+
+TEST(MerkleTest, OddLeafCountDuplicatesLast) {
+  std::vector<Digest256> three = {Sha256Digest("a"), Sha256Digest("b"), Sha256Digest("c")};
+  std::vector<Digest256> four = {Sha256Digest("a"), Sha256Digest("b"), Sha256Digest("c"),
+                                 Sha256Digest("c")};
+  EXPECT_EQ(MerkleRoot(three), MerkleRoot(four));
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MerkleProofTest, ProveAndVerifyEveryLeaf) {
+  const size_t n = GetParam();
+  std::vector<Digest256> leaves;
+  for (size_t i = 0; i < n; ++i) {
+    leaves.push_back(Sha256Digest("leaf" + std::to_string(i)));
+  }
+  const Digest256 root = MerkleRoot(leaves);
+  for (size_t i = 0; i < n; ++i) {
+    const auto proof = MerkleProve(leaves, i);
+    EXPECT_TRUE(MerkleVerify(leaves[i], proof, root)) << "leaf " << i;
+    // A proof for one leaf must not verify another.
+    if (n > 1) {
+      EXPECT_FALSE(MerkleVerify(leaves[(i + 1) % n], proof, root));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafCounts, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16, 33));
+
+TEST(SignatureTest, SignVerifyRoundTrip) {
+  const Signature sig = Sign(42, "transfer 100 from A to B");
+  EXPECT_TRUE(Verify(42, "transfer 100 from A to B", sig));
+  EXPECT_FALSE(Verify(43, "transfer 100 from A to B", sig));
+  EXPECT_FALSE(Verify(42, "transfer 101 from A to B", sig));
+}
+
+TEST(SignatureTest, CostModelShape) {
+  const SignatureCost ecdsa = CostOf(SignatureScheme::kEcdsa);
+  const SignatureCost ed = CostOf(SignatureScheme::kEd25519);
+  const SignatureCost rsa = CostOf(SignatureScheme::kRsa4096);
+  // Ed25519 signs faster than ECDSA; RSA4096 signing is the outlier that
+  // broke Avalanche's setup in the paper (§5.2).
+  EXPECT_LT(ed.sign, ecdsa.sign);
+  EXPECT_GT(rsa.sign, 50 * ecdsa.sign);
+  EXPECT_LT(rsa.verify, rsa.sign);
+  EXPECT_GT(rsa.bytes, ecdsa.bytes);
+}
+
+TEST(SortitionTest, DrawsAreDeterministicAndUniform) {
+  EXPECT_DOUBLE_EQ(SortitionDraw(1, 2, 3, 4), SortitionDraw(1, 2, 3, 4));
+  EXPECT_NE(SortitionDraw(1, 2, 3, 4), SortitionDraw(1, 2, 3, 5));
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double draw = SortitionDraw(9, 9, 9, static_cast<uint64_t>(i));
+    EXPECT_GE(draw, 0.0);
+    EXPECT_LT(draw, 1.0);
+    sum += draw;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(SortitionTest, CommitteeSizeNearExpected) {
+  const auto committee = SelectCommittee(7, 1, 2, 10000, 100.0);
+  EXPECT_GT(committee.size(), 60u);
+  EXPECT_LT(committee.size(), 140u);
+  // Members are sorted and unique by construction.
+  std::set<uint32_t> unique(committee.begin(), committee.end());
+  EXPECT_EQ(unique.size(), committee.size());
+}
+
+TEST(SortitionTest, CommitteeChangesPerRound) {
+  const auto round1 = SelectCommittee(7, 1, 0, 1000, 50.0);
+  const auto round2 = SelectCommittee(7, 2, 0, 1000, 50.0);
+  EXPECT_NE(round1, round2);
+}
+
+TEST(SortitionTest, ProposerInRangeAndRotates) {
+  std::set<uint32_t> proposers;
+  for (uint64_t round = 0; round < 50; ++round) {
+    const uint32_t p = SelectProposer(3, round, 20);
+    EXPECT_LT(p, 20u);
+    proposers.insert(p);
+  }
+  // Over 50 rounds many distinct proposers should appear.
+  EXPECT_GT(proposers.size(), 10u);
+}
+
+}  // namespace
+}  // namespace diablo

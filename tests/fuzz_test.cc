@@ -1,0 +1,161 @@
+// Randomized property tests: the interpreter must never crash, hang or
+// corrupt state on arbitrary bytecode; the YAML parser must reject or parse
+// arbitrary text without crashing; the mempool must preserve its accounting
+// invariants under random operation sequences.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/chain/mempool.h"
+#include "src/config/yaml.h"
+#include "src/support/rng.h"
+#include "src/vm/assembler.h"
+#include "src/vm/interpreter.h"
+
+namespace diablo {
+namespace {
+
+class VmFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VmFuzzTest, RandomBytecodeNeverCrashes) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    Program program;
+    program.name = "fuzz";
+    const size_t length = 1 + rng.NextBelow(64);
+    for (size_t i = 0; i < length; ++i) {
+      program.code.push_back(static_cast<uint8_t>(rng.NextBelow(256)));
+    }
+    program.functions.push_back(
+        FunctionEntry{"f", static_cast<uint32_t>(rng.NextBelow(length))});
+
+    ContractState state;
+    ExecRequest request;
+    request.program = &program;
+    request.function = "f";
+    request.state = &state;
+    // The AVM budget caps runaway loops quickly.
+    request.dialect = static_cast<VmDialect>(rng.NextBelow(4));
+    const ExecResult result = Execute(request);
+    // Whatever happened, accounting is sane.
+    EXPECT_GE(result.gas_used, 0);
+    EXPECT_GE(result.ops_executed, 0);
+  }
+}
+
+TEST_P(VmFuzzTest, RandomValidProgramsTerminate) {
+  // Assemble random but well-formed instruction streams (no jumps, so they
+  // always terminate) and check stack errors are reported, never UB.
+  Rng rng(GetParam() ^ 0xabcdef);
+  const char* ops[] = {"push 1", "push -3", "pop",  "dup 0", "swap 1", "add",
+                       "sub",    "mul",     "lt",   "gt",    "eq",     "not",
+                       "caller", "arg 0",   "argcount"};
+  for (int round = 0; round < 200; ++round) {
+    std::string source = ".func f\n";
+    const size_t length = 1 + rng.NextBelow(30);
+    for (size_t i = 0; i < length; ++i) {
+      source += std::string(ops[rng.NextBelow(std::size(ops))]) + "\n";
+    }
+    source += "stop\n";
+    const AssembleResult assembled = Assemble("fuzz", source);
+    ASSERT_TRUE(assembled.ok) << assembled.error;
+    ExecRequest request;
+    request.program = &assembled.program;
+    request.function = "f";
+    const std::vector<int64_t> args = {7};
+    request.args = args;
+    const ExecResult result = Execute(request);
+    EXPECT_TRUE(result.status == VmStatus::kOk ||
+                result.status == VmStatus::kStackUnderflow ||
+                result.status == VmStatus::kDivisionByZero)
+        << VmStatusName(result.status);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmFuzzTest, ::testing::Values(1, 2, 3, 4, 5));
+
+class YamlFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(YamlFuzzTest, RandomTextNeverCrashes) {
+  Rng rng(GetParam());
+  const char alphabet[] = "abz: -!&*{}[]\"'\n\t #0123456789.";
+  for (int round = 0; round < 300; ++round) {
+    std::string text;
+    const size_t length = rng.NextBelow(200);
+    for (size_t i = 0; i < length; ++i) {
+      text.push_back(alphabet[rng.NextBelow(sizeof(alphabet) - 1)]);
+    }
+    const YamlResult result = ParseYaml(text);
+    if (!result.ok) {
+      EXPECT_FALSE(result.error.empty());
+    }
+  }
+}
+
+TEST_P(YamlFuzzTest, StructuredMutationsNeverCrash) {
+  // Mutate a valid document: truncations and single-character changes.
+  const std::string base =
+      "let:\n  - &a { k: !tag [ 1, \"two\" ] }\nworkloads:\n  - number: 3\n"
+      "    client:\n      view: *a\n      behavior:\n        - interaction: !invoke\n"
+      "          load:\n            0: 10\n";
+  Rng rng(GetParam() ^ 0x5eed);
+  for (size_t cut = 0; cut < base.size(); cut += 3) {
+    ParseYaml(base.substr(0, cut));
+  }
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = base;
+    mutated[rng.NextBelow(mutated.size())] =
+        static_cast<char>(32 + rng.NextBelow(95));
+    ParseYaml(mutated);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, YamlFuzzTest, ::testing::Values(11, 22, 33));
+
+TEST(MempoolFuzzTest, RandomChurnPreservesInvariants) {
+  Rng rng(77);
+  for (int config_round = 0; config_round < 8; ++config_round) {
+    MempoolConfig config;
+    config.global_cap = rng.NextBelow(2) == 0 ? 0 : 50 + rng.NextBelow(100);
+    config.per_signer_cap = rng.NextBelow(2) == 0 ? 0 : 1 + rng.NextBelow(10);
+    config.ttl = rng.NextBelow(2) == 0 ? 0 : Seconds(5);
+    config.evict_on_full = rng.NextBelow(2) == 0;
+    Rng pool_rng = rng.Fork();
+    Mempool pool(config, &pool_rng);
+
+    size_t alive = 0;  // our own accounting of the live population
+    SimTime now = 0;
+    TxId next = 0;
+    for (int step = 0; step < 2000; ++step) {
+      now += static_cast<SimTime>(rng.NextBelow(Milliseconds(200)));
+      if (rng.NextBelow(3) != 0) {
+        TxId evicted = kInvalidTx;
+        const AdmitResult result =
+            pool.Add(next, static_cast<uint32_t>(rng.NextBelow(20)), now,
+                     now + static_cast<SimTime>(rng.NextBelow(Seconds(1))), &evicted);
+        if (result == AdmitResult::kAdmitted) {
+          ++alive;
+        }
+        if (evicted != kInvalidTx) {
+          --alive;
+        }
+        ++next;
+      } else {
+        std::vector<TxId> expired;
+        const auto taken = pool.TakeReady(now, 0, 0, 1 + rng.NextBelow(20),
+                                          [](TxId) { return 21000; },
+                                          [](TxId) { return 110; }, &expired);
+        alive -= taken.size() + expired.size();
+      }
+      ASSERT_EQ(pool.size(), alive) << "config round " << config_round;
+      if (config.global_cap > 0) {
+        ASSERT_LE(pool.size(), config.global_cap);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace diablo

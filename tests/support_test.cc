@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/support/rng.h"
+#include "src/support/stats.h"
+#include "src/support/strings.h"
+#include "src/support/time.h"
+
+namespace diablo {
+namespace {
+
+TEST(TimeTest, Conversions) {
+  EXPECT_EQ(Seconds(3), 3'000'000'000);
+  EXPECT_EQ(Milliseconds(5), 5'000'000);
+  EXPECT_EQ(Microseconds(7), 7'000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(Milliseconds(9)), 9.0);
+  EXPECT_EQ(SecondsF(1.5), 1'500'000'000);
+  EXPECT_EQ(MillisecondsF(0.5), 500'000);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBelow(5));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExponential(4.0);
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.NextPoisson(3.0));
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesApproximation) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.NextPoisson(500.0));
+  }
+  EXPECT_NEAR(sum / n, 500.0, 5.0);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(rng.NextGaussian(10.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(29);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    heads += rng.NextBernoulli(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // The child stream is distinct from the parent's subsequent draws.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextU64() == child.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RunningStatsTest, Basics) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  stats.Add(2.0);
+  stats.Add(4.0);
+  stats.Add(6.0);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 6.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+}
+
+TEST(SampleSetTest, PercentilesExact) {
+  SampleSet set;
+  for (int i = 1; i <= 100; ++i) {
+    set.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(set.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(set.Percentile(0.01), 1.0);
+  EXPECT_DOUBLE_EQ(set.Percentile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(set.Percentile(0.9), 90.0);
+  EXPECT_DOUBLE_EQ(set.Percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(set.Median(), 50.0);
+  EXPECT_DOUBLE_EQ(set.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(set.Max(), 100.0);
+  EXPECT_DOUBLE_EQ(set.Mean(), 50.5);
+}
+
+TEST(SampleSetTest, EmptySafe) {
+  SampleSet set;
+  EXPECT_EQ(set.count(), 0u);
+  EXPECT_DOUBLE_EQ(set.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(set.CdfAt(1.0), 0.0);
+  EXPECT_TRUE(set.CdfSeries(10).empty());
+}
+
+TEST(SampleSetTest, CdfMonotone) {
+  SampleSet set;
+  Rng rng(37);
+  for (int i = 0; i < 500; ++i) {
+    set.Add(rng.NextDouble() * 10.0);
+  }
+  const auto series = set.CdfSeries(50);
+  ASSERT_EQ(series.size(), 50u);
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(SampleSetTest, CdfAtValues) {
+  SampleSet set;
+  set.Add(1.0);
+  set.Add(2.0);
+  set.Add(3.0);
+  set.Add(4.0);
+  EXPECT_DOUBLE_EQ(set.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(set.CdfAt(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(set.CdfAt(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(set.CdfAt(10.0), 1.0);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.Add(-1.0);   // clamps into bucket 0
+  hist.Add(0.5);    // bucket 0
+  hist.Add(5.0);    // bucket 2
+  hist.Add(100.0);  // clamps into last bucket
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_EQ(hist.BucketCount(0), 2u);
+  EXPECT_EQ(hist.BucketCount(2), 1u);
+  EXPECT_EQ(hist.BucketCount(4), 1u);
+  EXPECT_DOUBLE_EQ(hist.BucketLow(2), 4.0);
+}
+
+TEST(TimeSeriesTest, PerSecondBuckets) {
+  TimeSeries series;
+  series.Add(0.2, 1.0);
+  series.Add(0.9, 2.0);
+  series.Add(3.5, 4.0);
+  EXPECT_EQ(series.size(), 4u);
+  EXPECT_DOUBLE_EQ(series.SumAt(0), 3.0);
+  EXPECT_EQ(series.CountAt(0), 2u);
+  EXPECT_DOUBLE_EQ(series.MeanAt(0), 1.5);
+  EXPECT_DOUBLE_EQ(series.SumAt(1), 0.0);
+  EXPECT_DOUBLE_EQ(series.SumAt(3), 4.0);
+  EXPECT_DOUBLE_EQ(series.TotalSum(), 7.0);
+  EXPECT_EQ(series.TotalCount(), 3u);
+  // Out of range reads are zero.
+  EXPECT_DOUBLE_EQ(series.SumAt(100), 0.0);
+}
+
+TEST(TimeSeriesTest, NegativeTimeClampsToZero) {
+  TimeSeries series;
+  series.Add(-5.0, 1.0);
+  EXPECT_EQ(series.CountAt(0), 1u);
+}
+
+TEST(AsciiBarTest, Rendering) {
+  EXPECT_EQ(AsciiBar(5.0, 10.0, 10), "#####     ");
+  EXPECT_EQ(AsciiBar(20.0, 10.0, 4), "####");
+  EXPECT_EQ(AsciiBar(0.0, 10.0, 4), "    ");
+  EXPECT_EQ(AsciiBar(1.0, 0.0, 4), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, Split) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringsTest, SplitWhitespace) {
+  const auto parts = SplitWhitespace("  foo \t bar\nbaz ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_TRUE(EndsWith("abcdef", "def"));
+  EXPECT_FALSE(EndsWith("ef", "def"));
+}
+
+TEST(StringsTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt64("4x", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+}
+
+TEST(StringsTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("2.5", &v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(StringsTest, FormatJoinLower) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace diablo

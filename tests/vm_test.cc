@@ -1,0 +1,536 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "src/vm/assembler.h"
+#include "src/vm/dialect.h"
+#include "src/vm/interpreter.h"
+#include "src/vm/opcode.h"
+#include "src/vm/state.h"
+
+namespace diablo {
+namespace {
+
+ExecResult RunVm(const Program& program, std::string_view function,
+               std::vector<int64_t> args = {}, ContractState* state = nullptr,
+               VmDialect dialect = VmDialect::kGeth, int64_t gas_limit = 0) {
+  ExecRequest request;
+  request.program = &program;
+  request.function = function;
+  request.args = args;
+  request.caller = 777;
+  request.state = state;
+  request.dialect = dialect;
+  request.gas_limit = gas_limit;
+  return Execute(request);
+}
+
+Program MustAssemble(std::string_view source) {
+  AssembleResult result = Assemble("test", source);
+  EXPECT_TRUE(result.ok) << result.error;
+  return result.program;
+}
+
+TEST(OpcodeTest, NamesRoundTrip) {
+  for (int i = 0; i < static_cast<int>(Opcode::kOpcodeCount); ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    Opcode parsed;
+    ASSERT_FALSE(OpcodeName(op).empty());
+    ASSERT_TRUE(ParseOpcode(OpcodeName(op), &parsed));
+    EXPECT_EQ(parsed, op);
+  }
+  Opcode dummy;
+  EXPECT_FALSE(ParseOpcode("frobnicate", &dummy));
+}
+
+TEST(OpcodeTest, StorageOpsCostMoreThanArithmetic) {
+  EXPECT_GT(OpcodeGas(Opcode::kSstore), 100 * OpcodeGas(Opcode::kAdd));
+  EXPECT_GT(OpcodeGas(Opcode::kSload), 10 * OpcodeGas(Opcode::kAdd));
+}
+
+TEST(AssemblerTest, ErrorsCarryLineNumbers) {
+  AssembleResult result = Assemble("bad", "push 1\nbogus\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("line 2"), std::string::npos);
+
+  result = Assemble("bad", ".func f\n  jump nowhere\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("nowhere"), std::string::npos);
+
+  result = Assemble("bad", "push\n");
+  EXPECT_FALSE(result.ok);
+
+  result = Assemble("bad", "pop 3\n");
+  EXPECT_FALSE(result.ok);
+
+  result = Assemble("bad", "x:\nx:\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("duplicate"), std::string::npos);
+
+  result = Assemble("bad", ".func dangling\n");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(AssemblerTest, CommentsAndBlankLines) {
+  const Program program = MustAssemble(R"(
+; full line comment
+.func main
+  push 5   ; trailing comment
+  return
+)");
+  EXPECT_EQ(RunVm(program, "main").return_value, 5);
+}
+
+TEST(AssemblerTest, DisassembleShowsFunctionsAndImmediates) {
+  const Program program = MustAssemble(".func main\n  push 42\n  return\n");
+  const std::string text = Disassemble(program);
+  EXPECT_NE(text.find(".func main"), std::string::npos);
+  EXPECT_NE(text.find("push 42"), std::string::npos);
+}
+
+
+TEST(AssemblerTest, FunctionNamesAreCallTargets) {
+  const Program program = MustAssemble(R"(
+.func helper
+  push 21
+  push 2
+  mul
+  ret
+.func main
+  call helper
+  return
+)");
+  EXPECT_EQ(RunVm(program, "main").return_value, 42);
+}
+
+TEST(InterpreterTest, Arithmetic) {
+  const Program program = MustAssemble(R"(
+.func main
+  push 7
+  push 3
+  sub       ; 4
+  push 5
+  mul       ; 20
+  push 6
+  div       ; 3
+  push 2
+  mod       ; 1
+  push 41
+  add
+  return
+)");
+  const ExecResult result = RunVm(program, "main");
+  EXPECT_EQ(result.status, VmStatus::kOk);
+  EXPECT_EQ(result.return_value, 42);
+}
+
+TEST(InterpreterTest, Comparisons) {
+  const Program program = MustAssemble(R"(
+.func main
+  push 2
+  push 3
+  lt        ; 1
+  push 3
+  push 3
+  le        ; 1
+  and       ; 1
+  push 5
+  push 4
+  gt        ; 1
+  and
+  push 4
+  push 4
+  ge
+  and
+  push 1
+  push 2
+  neq
+  and
+  push 9
+  push 9
+  eq
+  and
+  return
+)");
+  EXPECT_EQ(RunVm(program, "main").return_value, 1);
+}
+
+TEST(InterpreterTest, ShiftAndLogic) {
+  const Program program = MustAssemble(R"(
+.func main
+  push 1
+  push 6
+  shl       ; 64
+  push 2
+  shr       ; 16
+  push 0
+  not       ; 1
+  mul       ; 16
+  return
+)");
+  EXPECT_EQ(RunVm(program, "main").return_value, 16);
+}
+
+TEST(InterpreterTest, LoopComputesSum) {
+  // sum of 1..10 = 55
+  const Program program = MustAssemble(R"(
+.func main
+  push 0    ; sum
+  push 1    ; i
+loop:
+  dup 0
+  push 10
+  le
+  jumpi body
+  pop
+  return
+body:
+  dup 0     ; [sum, i, i]
+  swap 2    ; [i, i, sum]
+  add       ; [i, sum']
+  swap 1    ; [sum', i]
+  push 1
+  add
+  jump loop
+)");
+  const ExecResult result = RunVm(program, "main");
+  EXPECT_EQ(result.status, VmStatus::kOk);
+  EXPECT_EQ(result.return_value, 55);
+}
+
+TEST(InterpreterTest, StatePersistsAcrossCalls) {
+  const Program program = MustAssemble(R"(
+.func bump
+  push 9
+  dup 0
+  sload
+  push 1
+  add
+  sstore
+  stop
+.func read
+  push 9
+  sload
+  return
+)");
+  ContractState state;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(RunVm(program, "bump", {}, &state).status, VmStatus::kOk);
+  }
+  EXPECT_EQ(RunVm(program, "read", {}, &state).return_value, 3);
+}
+
+TEST(InterpreterTest, RevertDiscardsWrites) {
+  const Program program = MustAssemble(R"(
+.func failing
+  push 9
+  push 123
+  sstore
+  revert
+)");
+  ContractState state;
+  const ExecResult result = RunVm(program, "failing", {}, &state);
+  EXPECT_EQ(result.status, VmStatus::kReverted);
+  EXPECT_EQ(state.Load(9), 0);
+}
+
+TEST(InterpreterTest, ReadsObserveOwnWrites) {
+  const Program program = MustAssemble(R"(
+.func main
+  push 5
+  push 11
+  sstore
+  push 5
+  sload
+  return
+)");
+  ContractState state;
+  const ExecResult result = RunVm(program, "main", {}, &state);
+  EXPECT_EQ(result.return_value, 11);
+  EXPECT_EQ(state.Load(5), 11);
+}
+
+TEST(InterpreterTest, ArgsAndCaller) {
+  const Program program = MustAssemble(R"(
+.func main
+  arg 0
+  arg 1
+  add
+  caller
+  add
+  argcount
+  add
+  return
+)");
+  const ExecResult result = RunVm(program, "main", {10, 20});
+  EXPECT_EQ(result.return_value, 10 + 20 + 777 + 2);
+  // Missing args read as zero.
+  EXPECT_EQ(RunVm(program, "main", {}).return_value, 777);
+}
+
+TEST(InterpreterTest, EventsCounted) {
+  const Program program = MustAssemble(R"(
+.func main
+  push 1
+  push 2
+  emit 2
+  push 3
+  emit 1
+  stop
+)");
+  const ExecResult result = RunVm(program, "main");
+  EXPECT_EQ(result.status, VmStatus::kOk);
+  EXPECT_EQ(result.events_emitted, 2);
+}
+
+TEST(InterpreterTest, SubroutinesCallAndReturn) {
+  // A shared "double" subroutine called twice: f(x) = 4x.
+  const Program program = MustAssemble(R"(
+.func main
+  arg 0
+  call double
+  call double
+  return
+double:
+  push 2
+  mul
+  ret
+)");
+  const ExecResult result = RunVm(program, "main", {5});
+  EXPECT_EQ(result.status, VmStatus::kOk);
+  EXPECT_EQ(result.return_value, 20);
+}
+
+TEST(InterpreterTest, NestedCallsAndDepthLimit) {
+  const Program nested = MustAssemble(R"(
+.func main
+  push 1
+  call a
+  return
+a:
+  call b
+  ret
+b:
+  push 10
+  add
+  ret
+)");
+  EXPECT_EQ(RunVm(nested, "main").return_value, 11);
+
+  // Unbounded recursion trips the call-depth limit, not the host stack.
+  const Program recursive = MustAssemble(R"(
+.func main
+  call main
+  stop
+)");
+  EXPECT_EQ(RunVm(recursive, "main").status, VmStatus::kStackOverflow);
+}
+
+TEST(InterpreterTest, RetWithoutCallFails) {
+  EXPECT_EQ(RunVm(MustAssemble(".func f\n  ret\n"), "f").status,
+            VmStatus::kStackUnderflow);
+}
+
+TEST(InterpreterTest, TransientMemory) {
+  const Program program = MustAssemble(R"(
+.func main
+  push 7      ; mem[7] = 41
+  push 41
+  mstore
+  push 7
+  mload
+  push 1
+  add
+  push 99     ; unset address reads as zero
+  mload
+  add
+  return
+)");
+  const ExecResult result = RunVm(program, "main");
+  EXPECT_EQ(result.status, VmStatus::kOk);
+  EXPECT_EQ(result.return_value, 42);
+}
+
+TEST(InterpreterTest, MemoryBoundsEnforced) {
+  const Program program = MustAssemble(R"(
+.func f
+  push 100000
+  push 1
+  mstore
+  stop
+)");
+  EXPECT_EQ(RunVm(program, "f").status, VmStatus::kInvalidJump);
+}
+
+TEST(InterpreterTest, MemoryIsTransientAcrossCalls) {
+  const Program program = MustAssemble(R"(
+.func write
+  push 0
+  push 123
+  mstore
+  stop
+.func read
+  push 0
+  mload
+  return
+)");
+  ContractState state;
+  EXPECT_EQ(RunVm(program, "write", {}, &state).status, VmStatus::kOk);
+  // A fresh call sees fresh memory (unlike SSTORE state).
+  EXPECT_EQ(RunVm(program, "read", {}, &state).return_value, 0);
+}
+
+TEST(InterpreterTest, ErrorsDetected) {
+  EXPECT_EQ(RunVm(MustAssemble(".func f\n  pop\n"), "f").status, VmStatus::kStackUnderflow);
+  EXPECT_EQ(RunVm(MustAssemble(".func f\n  push 1\n  push 0\n  div\n"), "f").status,
+            VmStatus::kDivisionByZero);
+  EXPECT_EQ(RunVm(MustAssemble(".func f\n  push 1\n  push 0\n  mod\n"), "f").status,
+            VmStatus::kDivisionByZero);
+  EXPECT_EQ(RunVm(MustAssemble(".func f\n  stop\n"), "nope").status,
+            VmStatus::kNoSuchFunction);
+  EXPECT_EQ(RunVm(MustAssemble(".func f\n  dup 5\n"), "f").status,
+            VmStatus::kStackUnderflow);
+}
+
+TEST(InterpreterTest, StackOverflowDetected) {
+  const Program program = MustAssemble(R"(
+.func f
+loop:
+  push 1
+  jump loop
+)");
+  EXPECT_EQ(RunVm(program, "f").status, VmStatus::kStackOverflow);
+}
+
+TEST(InterpreterTest, GasLimitEnforced) {
+  const Program program = MustAssemble(R"(
+.func f
+loop:
+  push 1
+  pop
+  jump loop
+)");
+  const ExecResult result = RunVm(program, "f", {}, nullptr, VmDialect::kGeth,
+                                /*gas_limit=*/25000);
+  EXPECT_EQ(result.status, VmStatus::kOutOfGas);
+  EXPECT_LE(result.gas_used, 25000 + 20);
+}
+
+TEST(InterpreterTest, IntrinsicGasCharged) {
+  const Program program = MustAssemble(".func f\n  stop\n");
+  const ExecResult result = RunVm(program, "f");
+  EXPECT_EQ(result.gas_used, LimitsOf(VmDialect::kGeth).intrinsic_gas);
+}
+
+TEST(DialectTest, AvmOpBudget) {
+  // A loop of ~4 ops per iteration blows the 700-op AVM budget but runs
+  // fine on geth.
+  const Program program = MustAssemble(R"(
+.func f
+  push 0
+loop:
+  push 1
+  add
+  dup 0
+  push 300
+  lt
+  jumpi loop
+  return
+)");
+  EXPECT_EQ(RunVm(program, "f", {}, nullptr, VmDialect::kGeth).status, VmStatus::kOk);
+  EXPECT_EQ(RunVm(program, "f", {}, nullptr, VmDialect::kAvm).status,
+            VmStatus::kBudgetExceeded);
+}
+
+TEST(DialectTest, GasBudgetsHardCapped) {
+  // 80 sstores ~= 164k gas: over MoveVM's 150k budget, under eBPF's 200k.
+  const Program program = MustAssemble(R"(
+.func f
+  push 0
+loop:
+  dup 0
+  dup 0
+  sstore
+  push 1
+  add
+  dup 0
+  push 80
+  lt
+  jumpi loop
+  stop
+)");
+  ContractState state;
+  EXPECT_EQ(RunVm(program, "f", {}, &state, VmDialect::kMoveVm).status,
+            VmStatus::kBudgetExceeded);
+  EXPECT_EQ(RunVm(program, "f", {}, &state, VmDialect::kEbpf).status, VmStatus::kOk);
+  EXPECT_EQ(RunVm(program, "f", {}, &state, VmDialect::kGeth).status, VmStatus::kOk);
+}
+
+TEST(DialectTest, AvmStateEntryLimit) {
+  const Program program = MustAssemble(R"(
+.func f
+  push 40
+  arg 0
+  sstoreb
+  stop
+)");
+  ContractState state;
+  // 100 bytes fit in AVM's 128-byte entries; 1024 do not.
+  EXPECT_EQ(RunVm(program, "f", {100}, &state, VmDialect::kAvm).status, VmStatus::kOk);
+  EXPECT_EQ(RunVm(program, "f", {1024}, &state, VmDialect::kAvm).status,
+            VmStatus::kStateLimitExceeded);
+  EXPECT_EQ(RunVm(program, "f", {1024}, &state, VmDialect::kGeth).status, VmStatus::kOk);
+  EXPECT_EQ(state.BlobSize(40), 1024);
+}
+
+TEST(DialectTest, StoredBytesCostGas) {
+  const Program program = MustAssemble(R"(
+.func f
+  push 40
+  arg 0
+  sstoreb
+  stop
+)");
+  ContractState s1;
+  ContractState s2;
+  const ExecResult small = RunVm(program, "f", {10}, &s1);
+  const ExecResult large = RunVm(program, "f", {1000}, &s2);
+  EXPECT_EQ(large.gas_used - small.gas_used, kGasPerStoredByte * 990);
+}
+
+TEST(DialectTest, Registry) {
+  EXPECT_EQ(DialectName(VmDialect::kGeth), "geth");
+  EXPECT_EQ(DialectName(VmDialect::kAvm), "avm");
+  EXPECT_EQ(DialectName(VmDialect::kMoveVm), "movevm");
+  EXPECT_EQ(DialectName(VmDialect::kEbpf), "ebpf");
+  EXPECT_EQ(LimitsOf(VmDialect::kGeth).gas_budget, 0);
+  EXPECT_EQ(LimitsOf(VmDialect::kAvm).op_budget, 700);
+  EXPECT_EQ(LimitsOf(VmDialect::kAvm).max_kv_bytes, 128);
+  EXPECT_EQ(LimitsOf(VmDialect::kEbpf).gas_budget, 200000);
+}
+
+TEST(StateTest, Basics) {
+  ContractState state;
+  EXPECT_EQ(state.Load(1), 0);
+  state.Store(1, 5);
+  state.Store(1, 6);
+  EXPECT_EQ(state.Load(1), 6);
+  EXPECT_TRUE(state.StoreBytes(2, 100, 0));
+  EXPECT_FALSE(state.StoreBytes(3, 200, 128));
+  EXPECT_EQ(state.BlobSize(3), 0);
+  EXPECT_EQ(state.entry_count(), 2u);
+  EXPECT_EQ(state.total_blob_bytes(), 100);
+  EXPECT_TRUE(state.StoreBytes(2, 50, 0));
+  EXPECT_EQ(state.total_blob_bytes(), 50);
+}
+
+TEST(VmStatusTest, Names) {
+  EXPECT_EQ(VmStatusName(VmStatus::kOk), "ok");
+  EXPECT_EQ(VmStatusName(VmStatus::kBudgetExceeded), "budget exceeded");
+  EXPECT_FALSE(IsFailure(VmStatus::kOk));
+  EXPECT_TRUE(IsFailure(VmStatus::kReverted));
+}
+
+}  // namespace
+}  // namespace diablo
