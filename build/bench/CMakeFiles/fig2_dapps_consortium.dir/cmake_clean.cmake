@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_dapps_consortium.dir/fig2_dapps_consortium.cc.o"
+  "CMakeFiles/fig2_dapps_consortium.dir/fig2_dapps_consortium.cc.o.d"
+  "fig2_dapps_consortium"
+  "fig2_dapps_consortium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dapps_consortium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_robustness.dir/fig4_robustness.cc.o"
+  "CMakeFiles/fig4_robustness.dir/fig4_robustness.cc.o.d"
+  "fig4_robustness"
+  "fig4_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_universality.dir/fig5_universality.cc.o"
+  "CMakeFiles/fig5_universality.dir/fig5_universality.cc.o.d"
+  "fig5_universality"
+  "fig5_universality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_universality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_availability_cdf.dir/fig6_availability_cdf.cc.o"
+  "CMakeFiles/fig6_availability_cdf.dir/fig6_availability_cdf.cc.o.d"
+  "fig6_availability_cdf"
+  "fig6_availability_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_availability_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

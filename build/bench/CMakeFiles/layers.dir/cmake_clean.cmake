@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layers.dir/layers.cc.o"
+  "CMakeFiles/layers.dir/layers.cc.o.d"
+  "layers"
+  "layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_claimed_vs_observed.dir/table1_claimed_vs_observed.cc.o"
+  "CMakeFiles/table1_claimed_vs_observed.dir/table1_claimed_vs_observed.cc.o.d"
+  "table1_claimed_vs_observed"
+  "table1_claimed_vs_observed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_claimed_vs_observed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

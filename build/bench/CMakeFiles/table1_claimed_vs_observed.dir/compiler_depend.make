@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_claimed_vs_observed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_workload_shapes.dir/table2_workload_shapes.cc.o"
+  "CMakeFiles/table2_workload_shapes.dir/table2_workload_shapes.cc.o.d"
+  "table2_workload_shapes"
+  "table2_workload_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_workload_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_network_matrix.dir/table3_network_matrix.cc.o"
+  "CMakeFiles/table3_network_matrix.dir/table3_network_matrix.cc.o.d"
+  "table3_network_matrix"
+  "table3_network_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_network_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_chain_characteristics.dir/table4_chain_characteristics.cc.o"
+  "CMakeFiles/table4_chain_characteristics.dir/table4_chain_characteristics.cc.o.d"
+  "table4_chain_characteristics"
+  "table4_chain_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_chain_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_blockchain.dir/custom_blockchain.cpp.o"
+  "CMakeFiles/custom_blockchain.dir/custom_blockchain.cpp.o.d"
+  "custom_blockchain"
+  "custom_blockchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_blockchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

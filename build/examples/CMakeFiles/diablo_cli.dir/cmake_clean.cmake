@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_cli.dir/diablo_cli.cpp.o"
+  "CMakeFiles/diablo_cli.dir/diablo_cli.cpp.o.d"
+  "diablo_cli"
+  "diablo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exchange_dapp.dir/exchange_dapp.cpp.o"
+  "CMakeFiles/exchange_dapp.dir/exchange_dapp.cpp.o.d"
+  "exchange_dapp"
+  "exchange_dapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exchange_dapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

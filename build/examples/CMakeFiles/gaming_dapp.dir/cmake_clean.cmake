@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaming_dapp.dir/gaming_dapp.cpp.o"
+  "CMakeFiles/gaming_dapp.dir/gaming_dapp.cpp.o.d"
+  "gaming_dapp"
+  "gaming_dapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaming_dapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

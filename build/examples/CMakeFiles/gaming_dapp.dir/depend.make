@@ -1,0 +1,2 @@
+# Empty dependencies file for gaming_dapp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/results_analysis.dir/results_analysis.cpp.o"
+  "CMakeFiles/results_analysis.dir/results_analysis.cpp.o.d"
+  "results_analysis"
+  "results_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/results_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_spec.dir/workload_spec.cpp.o"
+  "CMakeFiles/workload_spec.dir/workload_spec.cpp.o.d"
+  "workload_spec"
+  "workload_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_analysis.dir/analysis/analysis.cc.o"
+  "CMakeFiles/diablo_analysis.dir/analysis/analysis.cc.o.d"
+  "libdiablo_analysis.a"
+  "libdiablo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block.cc" "src/CMakeFiles/diablo_chain.dir/chain/block.cc.o" "gcc" "src/CMakeFiles/diablo_chain.dir/chain/block.cc.o.d"
+  "/root/repo/src/chain/execution.cc" "src/CMakeFiles/diablo_chain.dir/chain/execution.cc.o" "gcc" "src/CMakeFiles/diablo_chain.dir/chain/execution.cc.o.d"
+  "/root/repo/src/chain/mempool.cc" "src/CMakeFiles/diablo_chain.dir/chain/mempool.cc.o" "gcc" "src/CMakeFiles/diablo_chain.dir/chain/mempool.cc.o.d"
+  "/root/repo/src/chain/node.cc" "src/CMakeFiles/diablo_chain.dir/chain/node.cc.o" "gcc" "src/CMakeFiles/diablo_chain.dir/chain/node.cc.o.d"
+  "/root/repo/src/chain/tx.cc" "src/CMakeFiles/diablo_chain.dir/chain/tx.cc.o" "gcc" "src/CMakeFiles/diablo_chain.dir/chain/tx.cc.o.d"
+  "/root/repo/src/chain/vote_round.cc" "src/CMakeFiles/diablo_chain.dir/chain/vote_round.cc.o" "gcc" "src/CMakeFiles/diablo_chain.dir/chain/vote_round.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/diablo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_chain.dir/chain/block.cc.o"
+  "CMakeFiles/diablo_chain.dir/chain/block.cc.o.d"
+  "CMakeFiles/diablo_chain.dir/chain/execution.cc.o"
+  "CMakeFiles/diablo_chain.dir/chain/execution.cc.o.d"
+  "CMakeFiles/diablo_chain.dir/chain/mempool.cc.o"
+  "CMakeFiles/diablo_chain.dir/chain/mempool.cc.o.d"
+  "CMakeFiles/diablo_chain.dir/chain/node.cc.o"
+  "CMakeFiles/diablo_chain.dir/chain/node.cc.o.d"
+  "CMakeFiles/diablo_chain.dir/chain/tx.cc.o"
+  "CMakeFiles/diablo_chain.dir/chain/tx.cc.o.d"
+  "CMakeFiles/diablo_chain.dir/chain/vote_round.cc.o"
+  "CMakeFiles/diablo_chain.dir/chain/vote_round.cc.o.d"
+  "libdiablo_chain.a"
+  "libdiablo_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

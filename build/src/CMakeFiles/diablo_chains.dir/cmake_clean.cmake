@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_chains.dir/chains/chain_factory.cc.o"
+  "CMakeFiles/diablo_chains.dir/chains/chain_factory.cc.o.d"
+  "CMakeFiles/diablo_chains.dir/chains/params.cc.o"
+  "CMakeFiles/diablo_chains.dir/chains/params.cc.o.d"
+  "CMakeFiles/diablo_chains.dir/chains/registry.cc.o"
+  "CMakeFiles/diablo_chains.dir/chains/registry.cc.o.d"
+  "libdiablo_chains.a"
+  "libdiablo_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

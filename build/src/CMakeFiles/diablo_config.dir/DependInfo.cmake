@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/json.cc" "src/CMakeFiles/diablo_config.dir/config/json.cc.o" "gcc" "src/CMakeFiles/diablo_config.dir/config/json.cc.o.d"
+  "/root/repo/src/config/spec.cc" "src/CMakeFiles/diablo_config.dir/config/spec.cc.o" "gcc" "src/CMakeFiles/diablo_config.dir/config/spec.cc.o.d"
+  "/root/repo/src/config/yaml.cc" "src/CMakeFiles/diablo_config.dir/config/yaml.cc.o" "gcc" "src/CMakeFiles/diablo_config.dir/config/yaml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/diablo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_config.dir/config/json.cc.o"
+  "CMakeFiles/diablo_config.dir/config/json.cc.o.d"
+  "CMakeFiles/diablo_config.dir/config/spec.cc.o"
+  "CMakeFiles/diablo_config.dir/config/spec.cc.o.d"
+  "CMakeFiles/diablo_config.dir/config/yaml.cc.o"
+  "CMakeFiles/diablo_config.dir/config/yaml.cc.o.d"
+  "libdiablo_config.a"
+  "libdiablo_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/algorand.cc" "src/CMakeFiles/diablo_consensus.dir/consensus/algorand.cc.o" "gcc" "src/CMakeFiles/diablo_consensus.dir/consensus/algorand.cc.o.d"
+  "/root/repo/src/consensus/avalanche.cc" "src/CMakeFiles/diablo_consensus.dir/consensus/avalanche.cc.o" "gcc" "src/CMakeFiles/diablo_consensus.dir/consensus/avalanche.cc.o.d"
+  "/root/repo/src/consensus/clique.cc" "src/CMakeFiles/diablo_consensus.dir/consensus/clique.cc.o" "gcc" "src/CMakeFiles/diablo_consensus.dir/consensus/clique.cc.o.d"
+  "/root/repo/src/consensus/dbft.cc" "src/CMakeFiles/diablo_consensus.dir/consensus/dbft.cc.o" "gcc" "src/CMakeFiles/diablo_consensus.dir/consensus/dbft.cc.o.d"
+  "/root/repo/src/consensus/hotstuff.cc" "src/CMakeFiles/diablo_consensus.dir/consensus/hotstuff.cc.o" "gcc" "src/CMakeFiles/diablo_consensus.dir/consensus/hotstuff.cc.o.d"
+  "/root/repo/src/consensus/ibft.cc" "src/CMakeFiles/diablo_consensus.dir/consensus/ibft.cc.o" "gcc" "src/CMakeFiles/diablo_consensus.dir/consensus/ibft.cc.o.d"
+  "/root/repo/src/consensus/raft.cc" "src/CMakeFiles/diablo_consensus.dir/consensus/raft.cc.o" "gcc" "src/CMakeFiles/diablo_consensus.dir/consensus/raft.cc.o.d"
+  "/root/repo/src/consensus/solana.cc" "src/CMakeFiles/diablo_consensus.dir/consensus/solana.cc.o" "gcc" "src/CMakeFiles/diablo_consensus.dir/consensus/solana.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/diablo_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_consensus.dir/consensus/algorand.cc.o"
+  "CMakeFiles/diablo_consensus.dir/consensus/algorand.cc.o.d"
+  "CMakeFiles/diablo_consensus.dir/consensus/avalanche.cc.o"
+  "CMakeFiles/diablo_consensus.dir/consensus/avalanche.cc.o.d"
+  "CMakeFiles/diablo_consensus.dir/consensus/clique.cc.o"
+  "CMakeFiles/diablo_consensus.dir/consensus/clique.cc.o.d"
+  "CMakeFiles/diablo_consensus.dir/consensus/dbft.cc.o"
+  "CMakeFiles/diablo_consensus.dir/consensus/dbft.cc.o.d"
+  "CMakeFiles/diablo_consensus.dir/consensus/hotstuff.cc.o"
+  "CMakeFiles/diablo_consensus.dir/consensus/hotstuff.cc.o.d"
+  "CMakeFiles/diablo_consensus.dir/consensus/ibft.cc.o"
+  "CMakeFiles/diablo_consensus.dir/consensus/ibft.cc.o.d"
+  "CMakeFiles/diablo_consensus.dir/consensus/raft.cc.o"
+  "CMakeFiles/diablo_consensus.dir/consensus/raft.cc.o.d"
+  "CMakeFiles/diablo_consensus.dir/consensus/solana.cc.o"
+  "CMakeFiles/diablo_consensus.dir/consensus/solana.cc.o.d"
+  "libdiablo_consensus.a"
+  "libdiablo_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

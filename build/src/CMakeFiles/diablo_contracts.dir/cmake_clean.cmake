@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_contracts.dir/contracts/contracts.cc.o"
+  "CMakeFiles/diablo_contracts.dir/contracts/contracts.cc.o.d"
+  "libdiablo_contracts.a"
+  "libdiablo_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/interface.cc" "src/CMakeFiles/diablo_core.dir/core/interface.cc.o" "gcc" "src/CMakeFiles/diablo_core.dir/core/interface.cc.o.d"
+  "/root/repo/src/core/primary.cc" "src/CMakeFiles/diablo_core.dir/core/primary.cc.o" "gcc" "src/CMakeFiles/diablo_core.dir/core/primary.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/diablo_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/diablo_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/results.cc" "src/CMakeFiles/diablo_core.dir/core/results.cc.o" "gcc" "src/CMakeFiles/diablo_core.dir/core/results.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/CMakeFiles/diablo_core.dir/core/runner.cc.o" "gcc" "src/CMakeFiles/diablo_core.dir/core/runner.cc.o.d"
+  "/root/repo/src/core/secondary.cc" "src/CMakeFiles/diablo_core.dir/core/secondary.cc.o" "gcc" "src/CMakeFiles/diablo_core.dir/core/secondary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/diablo_chains.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

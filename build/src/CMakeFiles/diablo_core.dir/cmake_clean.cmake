@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_core.dir/core/interface.cc.o"
+  "CMakeFiles/diablo_core.dir/core/interface.cc.o.d"
+  "CMakeFiles/diablo_core.dir/core/primary.cc.o"
+  "CMakeFiles/diablo_core.dir/core/primary.cc.o.d"
+  "CMakeFiles/diablo_core.dir/core/report.cc.o"
+  "CMakeFiles/diablo_core.dir/core/report.cc.o.d"
+  "CMakeFiles/diablo_core.dir/core/results.cc.o"
+  "CMakeFiles/diablo_core.dir/core/results.cc.o.d"
+  "CMakeFiles/diablo_core.dir/core/runner.cc.o"
+  "CMakeFiles/diablo_core.dir/core/runner.cc.o.d"
+  "CMakeFiles/diablo_core.dir/core/secondary.cc.o"
+  "CMakeFiles/diablo_core.dir/core/secondary.cc.o.d"
+  "libdiablo_core.a"
+  "libdiablo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/merkle.cc" "src/CMakeFiles/diablo_crypto.dir/crypto/merkle.cc.o" "gcc" "src/CMakeFiles/diablo_crypto.dir/crypto/merkle.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/diablo_crypto.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/diablo_crypto.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/crypto/signature.cc" "src/CMakeFiles/diablo_crypto.dir/crypto/signature.cc.o" "gcc" "src/CMakeFiles/diablo_crypto.dir/crypto/signature.cc.o.d"
+  "/root/repo/src/crypto/sortition.cc" "src/CMakeFiles/diablo_crypto.dir/crypto/sortition.cc.o" "gcc" "src/CMakeFiles/diablo_crypto.dir/crypto/sortition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/diablo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_crypto.dir/crypto/merkle.cc.o"
+  "CMakeFiles/diablo_crypto.dir/crypto/merkle.cc.o.d"
+  "CMakeFiles/diablo_crypto.dir/crypto/sha256.cc.o"
+  "CMakeFiles/diablo_crypto.dir/crypto/sha256.cc.o.d"
+  "CMakeFiles/diablo_crypto.dir/crypto/signature.cc.o"
+  "CMakeFiles/diablo_crypto.dir/crypto/signature.cc.o.d"
+  "CMakeFiles/diablo_crypto.dir/crypto/sortition.cc.o"
+  "CMakeFiles/diablo_crypto.dir/crypto/sortition.cc.o.d"
+  "libdiablo_crypto.a"
+  "libdiablo_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_net.dir/net/deployment.cc.o"
+  "CMakeFiles/diablo_net.dir/net/deployment.cc.o.d"
+  "CMakeFiles/diablo_net.dir/net/network.cc.o"
+  "CMakeFiles/diablo_net.dir/net/network.cc.o.d"
+  "CMakeFiles/diablo_net.dir/net/region.cc.o"
+  "CMakeFiles/diablo_net.dir/net/region.cc.o.d"
+  "CMakeFiles/diablo_net.dir/net/topology.cc.o"
+  "CMakeFiles/diablo_net.dir/net/topology.cc.o.d"
+  "libdiablo_net.a"
+  "libdiablo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

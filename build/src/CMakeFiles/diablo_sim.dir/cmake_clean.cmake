@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/diablo_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/diablo_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/diablo_sim.dir/sim/simulation.cc.o.d"
+  "libdiablo_sim.a"
+  "libdiablo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_support.dir/support/log.cc.o"
+  "CMakeFiles/diablo_support.dir/support/log.cc.o.d"
+  "CMakeFiles/diablo_support.dir/support/rng.cc.o"
+  "CMakeFiles/diablo_support.dir/support/rng.cc.o.d"
+  "CMakeFiles/diablo_support.dir/support/stats.cc.o"
+  "CMakeFiles/diablo_support.dir/support/stats.cc.o.d"
+  "CMakeFiles/diablo_support.dir/support/strings.cc.o"
+  "CMakeFiles/diablo_support.dir/support/strings.cc.o.d"
+  "libdiablo_support.a"
+  "libdiablo_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

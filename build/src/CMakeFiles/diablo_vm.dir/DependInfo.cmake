@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/assembler.cc" "src/CMakeFiles/diablo_vm.dir/vm/assembler.cc.o" "gcc" "src/CMakeFiles/diablo_vm.dir/vm/assembler.cc.o.d"
+  "/root/repo/src/vm/dialect.cc" "src/CMakeFiles/diablo_vm.dir/vm/dialect.cc.o" "gcc" "src/CMakeFiles/diablo_vm.dir/vm/dialect.cc.o.d"
+  "/root/repo/src/vm/interpreter.cc" "src/CMakeFiles/diablo_vm.dir/vm/interpreter.cc.o" "gcc" "src/CMakeFiles/diablo_vm.dir/vm/interpreter.cc.o.d"
+  "/root/repo/src/vm/opcode.cc" "src/CMakeFiles/diablo_vm.dir/vm/opcode.cc.o" "gcc" "src/CMakeFiles/diablo_vm.dir/vm/opcode.cc.o.d"
+  "/root/repo/src/vm/state.cc" "src/CMakeFiles/diablo_vm.dir/vm/state.cc.o" "gcc" "src/CMakeFiles/diablo_vm.dir/vm/state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/diablo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_vm.dir/vm/assembler.cc.o"
+  "CMakeFiles/diablo_vm.dir/vm/assembler.cc.o.d"
+  "CMakeFiles/diablo_vm.dir/vm/dialect.cc.o"
+  "CMakeFiles/diablo_vm.dir/vm/dialect.cc.o.d"
+  "CMakeFiles/diablo_vm.dir/vm/interpreter.cc.o"
+  "CMakeFiles/diablo_vm.dir/vm/interpreter.cc.o.d"
+  "CMakeFiles/diablo_vm.dir/vm/opcode.cc.o"
+  "CMakeFiles/diablo_vm.dir/vm/opcode.cc.o.d"
+  "CMakeFiles/diablo_vm.dir/vm/state.cc.o"
+  "CMakeFiles/diablo_vm.dir/vm/state.cc.o.d"
+  "libdiablo_vm.a"
+  "libdiablo_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

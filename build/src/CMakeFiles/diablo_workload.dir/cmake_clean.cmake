@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diablo_workload.dir/workload/arrival.cc.o"
+  "CMakeFiles/diablo_workload.dir/workload/arrival.cc.o.d"
+  "CMakeFiles/diablo_workload.dir/workload/dapps.cc.o"
+  "CMakeFiles/diablo_workload.dir/workload/dapps.cc.o.d"
+  "CMakeFiles/diablo_workload.dir/workload/trace.cc.o"
+  "CMakeFiles/diablo_workload.dir/workload/trace.cc.o.d"
+  "libdiablo_workload.a"
+  "libdiablo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diablo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

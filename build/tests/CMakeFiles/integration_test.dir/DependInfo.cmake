@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/diablo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_chains.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/diablo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
