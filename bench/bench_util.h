@@ -4,7 +4,10 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "src/core/parallel_runner.h"
 #include "src/core/runner.h"
 #include "src/support/stats.h"
 #include "src/support/strings.h"
@@ -15,6 +18,32 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("================================================================\n");
+}
+
+// Runs `cells` on `runner`, announcing the fan-out (so a user watching a
+// slow sweep knows how many cells are in flight on how many workers).
+inline std::vector<RunResult> RunCells(ParallelRunner& runner,
+                                       std::vector<ExperimentCell> cells) {
+  std::printf("[runner] %zu cells on %d worker%s (DIABLO_JOBS)\n", cells.size(),
+              runner.jobs(), runner.jobs() == 1 ? "" : "s");
+  std::fflush(stdout);
+  return runner.Run(std::move(cells));
+}
+
+// Records the binary's runner stats into BENCH_runner.json (cwd), keeping
+// other binaries' entries, and prints the one-line summary.
+inline void FinishRunnerReport(const std::string& binary,
+                               const ParallelRunner& runner) {
+  const RunnerStats& stats = runner.stats();
+  std::printf(
+      "[runner] %s: %zu cells in %.2f s wall, %llu events (%.0f events/s) "
+      "with %d jobs\n",
+      binary.c_str(), stats.cells, stats.wall_seconds,
+      static_cast<unsigned long long>(stats.total_events),
+      stats.EventsPerSecond(), stats.jobs);
+  if (!WriteRunnerStatsJson("BENCH_runner.json", binary, stats)) {
+    std::fprintf(stderr, "[runner] warning: could not write BENCH_runner.json\n");
+  }
 }
 
 inline void PrintRunRow(const std::string& label, const RunResult& result) {

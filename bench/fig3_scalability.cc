@@ -1,6 +1,11 @@
 // Figure 3: average throughput and average latency of each blockchain under
 // a constant 1,000 TPS native-transfer workload for 120 s, on the
 // datacenter, testnet, devnet and community configurations (§6.2).
+//
+// Every (chain, deployment) cell is independent, so the whole matrix fans
+// out across DIABLO_JOBS workers; results are bit-identical to a serial run.
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "src/chains/params.h"
 
@@ -12,25 +17,38 @@ void Run() {
       "Figure 3 — scalability: 1,000 TPS native transfers, 120 s\n"
       "(throughput TPS / latency s per deployment configuration)");
   const double scale = ScaleFromEnv();
-  const char* deployments[] = {"datacenter", "testnet", "devnet", "community"};
+  const std::vector<std::string> deployments = {"datacenter", "testnet", "devnet",
+                                                "community"};
+  const std::vector<std::string> chains = AllChainNames();
+
+  ParallelRunner runner;
+  std::vector<ExperimentCell> cells;
+  for (const std::string& chain : chains) {
+    for (const std::string& deployment : deployments) {
+      cells.push_back({chain + "/" + deployment, [chain, deployment, scale] {
+                         return RunNativeBenchmark(chain, deployment, 1000, 120,
+                                                   /*seed=*/1, scale);
+                       }});
+    }
+  }
+  const std::vector<RunResult> results = RunCells(runner, std::move(cells));
 
   std::printf("%-10s", "chain");
-  for (const char* deployment : deployments) {
-    std::printf("  %22s", deployment);
+  for (const std::string& deployment : deployments) {
+    std::printf("  %22s", deployment.c_str());
   }
   std::printf("\n");
-
-  for (const std::string& chain : AllChainNames()) {
+  size_t cell = 0;
+  for (const std::string& chain : chains) {
     std::printf("%-10s", chain.c_str());
-    for (const char* deployment : deployments) {
-      const RunResult result =
-          RunNativeBenchmark(chain, deployment, 1000, 120, /*seed=*/1, scale);
+    for (size_t d = 0; d < deployments.size(); ++d, ++cell) {
+      const RunResult& result = results[cell];
       std::printf("  %9.0f TPS %6.1f s", result.report.avg_throughput,
                   result.report.avg_latency);
-      std::fflush(stdout);
     }
     std::printf("\n");
   }
+  FinishRunnerReport("fig3_scalability", runner);
 }
 
 }  // namespace

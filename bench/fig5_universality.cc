@@ -1,7 +1,9 @@
 // Figure 5: throughput and latency of each blockchain when stressed with
 // the Uber workload (810-900 TPS of compute-intensive Mobility service DApp
 // invocations) on the consortium configuration; an X marks chains whose VM
-// cannot execute the DApp (§6.4).
+// cannot execute the DApp (§6.4). One parallel cell per chain.
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "src/chains/params.h"
 
@@ -13,15 +15,25 @@ void Run() {
       "Figure 5 — universality: Mobility service DApp (Uber, 810-900 TPS)\n"
       "consortium configuration (200 nodes x 8 vCPUs, 10 regions)");
   const double scale = ScaleFromEnv();
-  for (const std::string& chain : AllChainNames()) {
-    const RunResult result =
-        RunDappBenchmark(chain, "consortium", "uber", /*seed=*/1, scale);
-    PrintRunRow(chain, result);
-    std::fflush(stdout);
+  const std::vector<std::string> chains = AllChainNames();
+
+  ParallelRunner runner;
+  std::vector<ExperimentCell> cells;
+  for (const std::string& chain : chains) {
+    cells.push_back({chain, [chain, scale] {
+                       return RunDappBenchmark(chain, "consortium", "uber",
+                                               /*seed=*/1, scale);
+                     }});
+  }
+  const std::vector<RunResult> results = RunCells(runner, std::move(cells));
+
+  for (size_t i = 0; i < chains.size(); ++i) {
+    PrintRunRow(chains[i], results[i]);
   }
   std::printf(
       "\npaper shapes: Algorand/Diem/Solana = X (budget exceeded);\n"
       "Quorum ~622 TPS; Avalanche & Ethereum < 169 TPS.\n");
+  FinishRunnerReport("fig5_universality", runner);
 }
 
 }  // namespace

@@ -1,6 +1,9 @@
 // Load sweep extension: offered load vs achieved throughput and latency for
 // every chain — the classic saturation ("hockey stick") curves that §6.2 and
-// §6.3 sample at two points (1,000 and 10,000 TPS).
+// §6.3 sample at two points (1,000 and 10,000 TPS). The (chain, load) grid
+// fans out across DIABLO_JOBS workers.
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "src/chains/params.h"
 
@@ -12,22 +15,34 @@ void Run() {
       "Load sweep — offered native TPS vs achieved throughput / latency\n"
       "(datacenter configuration, 60 s per point)");
   const double scale = ScaleFromEnv();
-  const double loads[] = {100, 300, 1000, 3000, 10000};
+  const std::vector<double> loads = {100, 300, 1000, 3000, 10000};
+  const std::vector<std::string> chains = AllChainNames();
+
+  ParallelRunner runner;
+  std::vector<ExperimentCell> cells;
+  for (const std::string& chain : chains) {
+    for (const double load : loads) {
+      cells.push_back(
+          {chain + "@" + std::to_string(static_cast<int>(load)), [chain, load, scale] {
+             return RunNativeBenchmark(chain, "datacenter", load, 60, /*seed=*/1,
+                                       scale);
+           }});
+    }
+  }
+  const std::vector<RunResult> results = RunCells(runner, std::move(cells));
 
   std::printf("%-10s", "chain");
   for (const double load : loads) {
     std::printf("  %8.0f TPS offered", load);
   }
   std::printf("\n");
-
-  for (const std::string& chain : AllChainNames()) {
+  size_t cell = 0;
+  for (const std::string& chain : chains) {
     std::printf("%-10s", chain.c_str());
-    for (const double load : loads) {
-      const RunResult result =
-          RunNativeBenchmark(chain, "datacenter", load, 60, /*seed=*/1, scale);
+    for (size_t l = 0; l < loads.size(); ++l, ++cell) {
+      const RunResult& result = results[cell];
       std::printf("  %7.0f @ %7.1fs", result.report.avg_throughput,
                   result.report.avg_latency);
-      std::fflush(stdout);
     }
     std::printf("\n");
   }
@@ -35,6 +50,7 @@ void Run() {
       "\nreading the curve: throughput tracks the offered load until the chain's\n"
       "ceiling, then the overload behaviour of §6.3 takes over (saturation for\n"
       "the probabilistic chains, collapse for the leader-based BFT ones).\n");
+  FinishRunnerReport("load_sweep", runner);
 }
 
 }  // namespace

@@ -3,6 +3,9 @@
 // per dialect, mempool operations, trace generation and YAML parsing.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <functional>
+
 #include "src/chain/mempool.h"
 #include "src/config/yaml.h"
 #include "src/contracts/contracts.h"
@@ -31,6 +34,145 @@ void BM_EventLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventLoop)->Arg(1000)->Arg(100000);
 
+// The seed's event path, reconstructed: the same binary heap but with
+// std::function entries (one heap allocation per capture beyond the
+// libstdc++ 16-byte inline buffer). BM_EventLoop vs this pair is the
+// before/after of the EventFn small-buffer swap.
+class StdFunctionQueue {
+ public:
+  void Push(SimTime time, std::function<void()> fn) {
+    heap_.push_back(Entry{time, next_seq_++, std::move(fn)});
+    size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      if (!(heap_[parent] > heap_[i])) {
+        break;
+      }
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+
+  bool empty() const { return heap_.empty(); }
+
+  std::function<void()> Pop(SimTime* time) {
+    Entry top = std::move(heap_.front());
+    *time = top.time;
+    if (heap_.size() > 1) {
+      heap_.front() = std::move(heap_.back());
+      heap_.pop_back();
+      SiftDown();
+    } else {
+      heap_.pop_back();
+    }
+    return std::move(top.fn);
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+
+    bool operator>(const Entry& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void SiftDown() {
+    const size_t n = heap_.size();
+    size_t i = 0;
+    while (true) {
+      const size_t left = 2 * i + 1;
+      const size_t right = left + 1;
+      size_t smallest = i;
+      if (left < n && heap_[smallest] > heap_[left]) {
+        smallest = left;
+      }
+      if (right < n && heap_[smallest] > heap_[right]) {
+        smallest = right;
+      }
+      if (smallest == i) {
+        return;
+      }
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+// Capture shape mirroring the simulator's real closures: a couple of
+// pointers plus ids/sizes, ~32 bytes — over std::function's inline buffer,
+// under EventFn's.
+struct FatCapture {
+  uint64_t* sink;
+  uint64_t a, b, c;
+};
+
+// The seed's BM_EventLoop workload (one pointer capture) on the seed's
+// std::function queue — the direct baseline for BM_EventLoop.
+void BM_EventLoopStdFunctionSmall(benchmark::State& state) {
+  const int64_t events = state.range(0);
+  for (auto _ : state) {
+    StdFunctionQueue queue;
+    uint64_t sink = 0;
+    for (int64_t i = 0; i < events; ++i) {
+      queue.Push(i, [&sink] { ++sink; });
+    }
+    SimTime t = 0;
+    while (!queue.empty()) {
+      queue.Pop(&t)();
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventLoopStdFunctionSmall)->Arg(1000)->Arg(100000);
+
+void BM_EventLoopStdFunction(benchmark::State& state) {
+  const int64_t events = state.range(0);
+  for (auto _ : state) {
+    StdFunctionQueue queue;
+    uint64_t sink = 0;
+    for (int64_t i = 0; i < events; ++i) {
+      FatCapture capture{&sink, static_cast<uint64_t>(i), 2, 3};
+      queue.Push(i, [capture] { *capture.sink += capture.a; });
+    }
+    SimTime t = 0;
+    while (!queue.empty()) {
+      queue.Pop(&t)();
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventLoopStdFunction)->Arg(1000)->Arg(100000);
+
+void BM_EventLoopSboFunctor(benchmark::State& state) {
+  const int64_t events = state.range(0);
+  for (auto _ : state) {
+    EventQueue queue;
+    uint64_t sink = 0;
+    for (int64_t i = 0; i < events; ++i) {
+      FatCapture capture{&sink, static_cast<uint64_t>(i), 2, 3};
+      queue.Push(i, [capture] { *capture.sink += capture.a; });
+    }
+    SimTime t = 0;
+    while (!queue.empty()) {
+      queue.Pop(&t)();
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventLoopSboFunctor)->Arg(1000)->Arg(100000);
+
 void BM_NetworkDelaySample(benchmark::State& state) {
   Simulation sim(1);
   Network net(&sim);
@@ -46,6 +188,35 @@ void BM_NetworkDelaySample(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_NetworkDelaySample);
+
+// The seed's delay math, reconstructed: triangle-matrix lookups plus unit
+// conversions and a bandwidth division per sample, instead of the cached
+// flat LinkParams table Network::DelaySample now reads.
+void BM_NetworkDelayUncached(benchmark::State& state) {
+  Simulation sim(1);
+  Rng rng = sim.ForkRng();
+  std::vector<Region> regions;
+  for (int i = 0; i < 20; ++i) {
+    regions.push_back(static_cast<Region>(i % kRegionCount));
+  }
+  const double jitter_frac = 0.05;
+  size_t i = 0;
+  for (auto _ : state) {
+    const Region a = regions[i % 20];
+    const Region b = regions[(i + 7) % 20];
+    const SimDuration prop = MillisecondsF(Topology::RttMs(a, b) / 2.0);
+    const double mbps = Topology::BandwidthMbps(a, b);
+    const SimDuration trans =
+        SecondsF(static_cast<double>(int64_t{256}) * 8.0 / (mbps * 1e6));
+    const double jitter_scale = jitter_frac * std::abs(rng.NextGaussian(0.0, 1.0));
+    const SimDuration jitter =
+        static_cast<SimDuration>(static_cast<double>(prop) * jitter_scale);
+    benchmark::DoNotOptimize(prop + trans + jitter);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkDelayUncached);
 
 void BM_Sha256(benchmark::State& state) {
   const std::string data(static_cast<size_t>(state.range(0)), 'x');

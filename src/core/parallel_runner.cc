@@ -1,0 +1,214 @@
+#include "src/core/parallel_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <utility>
+
+#include "src/config/json.h"
+#include "src/support/rng.h"
+#include "src/support/strings.h"
+#include "src/support/thread_pool.h"
+
+namespace diablo {
+
+ParallelRunner::ParallelRunner(int jobs)
+    : jobs_(jobs > 0 ? jobs : JobsFromEnv()) {
+  stats_.jobs = jobs_;
+}
+
+int ParallelRunner::JobsFromEnv() {
+  const char* raw = std::getenv("DIABLO_JOBS");
+  if (raw != nullptr) {
+    int64_t value = 0;
+    if (ParseInt64(raw, &value) && value > 0) {
+      return static_cast<int>(std::min<int64_t>(value, 1024));
+    }
+  }
+  return ThreadPool::HardwareConcurrency();
+}
+
+std::vector<RunResult> ParallelRunner::Run(std::vector<ExperimentCell> cells) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<RunResult> results(cells.size());
+
+  if (jobs_ == 1 || cells.size() <= 1) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      results[i] = cells[i].run();
+    }
+  } else {
+    ThreadPool pool(std::min<int>(jobs_, static_cast<int>(cells.size())));
+    std::vector<std::future<void>> futures;
+    futures.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      futures.push_back(
+          pool.Submit([&cells, &results, i] { results[i] = cells[i].run(); }));
+    }
+    // Wait for every cell before rethrowing, so one failure cannot leave
+    // workers writing into a destroyed results vector.
+    std::exception_ptr first_error;
+    for (std::future<void>& future : futures) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+    if (first_error) {
+      std::rethrow_exception(first_error);
+    }
+  }
+
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  stats_.cells += cells.size();
+  stats_.wall_seconds += elapsed.count();
+  for (const RunResult& result : results) {
+    stats_.total_events += result.events_executed;
+  }
+  return results;
+}
+
+uint64_t CellSeed(uint64_t base_seed, uint64_t cell_index) {
+  // splitmix64 over (base, index) gives well-separated streams even for
+  // adjacent cells; never fold in thread identity here.
+  uint64_t state = base_seed + 0x9e3779b97f4a7c15ull * (cell_index + 1);
+  return SplitMix64(state);
+}
+
+namespace {
+
+void AppendJson(const JsonValue& value, std::ostringstream* out);
+
+void AppendJsonString(const std::string& s, std::ostringstream* out) {
+  *out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out << "\\\"";
+        break;
+      case '\\':
+        *out << "\\\\";
+        break;
+      case '\n':
+        *out << "\\n";
+        break;
+      case '\t':
+        *out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out << buf;
+        } else {
+          *out << c;
+        }
+    }
+  }
+  *out << '"';
+}
+
+void AppendJson(const JsonValue& value, std::ostringstream* out) {
+  switch (value.type) {
+    case JsonValue::Type::kNull:
+      *out << "null";
+      break;
+    case JsonValue::Type::kBool:
+      *out << (value.boolean ? "true" : "false");
+      break;
+    case JsonValue::Type::kNumber: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", value.number);
+      *out << buf;
+      break;
+    }
+    case JsonValue::Type::kString:
+      AppendJsonString(value.string, out);
+      break;
+    case JsonValue::Type::kArray:
+      *out << '[';
+      for (size_t i = 0; i < value.items.size(); ++i) {
+        if (i > 0) {
+          *out << ',';
+        }
+        AppendJson(value.items[i], out);
+      }
+      *out << ']';
+      break;
+    case JsonValue::Type::kObject:
+      *out << '{';
+      for (size_t i = 0; i < value.members.size(); ++i) {
+        if (i > 0) {
+          *out << ',';
+        }
+        AppendJsonString(value.members[i].first, out);
+        *out << ':';
+        AppendJson(value.members[i].second, out);
+      }
+      *out << '}';
+      break;
+  }
+}
+
+std::string StatsEntryJson(const RunnerStats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"jobs\": %d, \"cells\": %zu, \"wall_seconds\": %.6f, "
+                "\"total_events\": %llu, \"events_per_second\": %.1f, "
+                "\"hardware_threads\": %d}",
+                stats.jobs, stats.cells, stats.wall_seconds,
+                static_cast<unsigned long long>(stats.total_events),
+                stats.EventsPerSecond(), ThreadPool::HardwareConcurrency());
+  return buf;
+}
+
+}  // namespace
+
+bool WriteRunnerStatsJson(const std::string& path, const std::string& binary,
+                          const RunnerStats& stats) {
+  // Keep other binaries' entries so the file accumulates a whole-suite view.
+  std::vector<std::pair<std::string, std::string>> entries;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream raw;
+      raw << in.rdbuf();
+      const JsonResult parsed = ParseJson(raw.str());
+      if (parsed.ok && parsed.value.IsObject()) {
+        for (const auto& [key, value] : parsed.value.members) {
+          if (key == binary) {
+            continue;
+          }
+          std::ostringstream serialized;
+          AppendJson(value, &serialized);
+          entries.emplace_back(key, serialized.str());
+        }
+      }
+    }
+  }
+  entries.emplace_back(binary, StatsEntryJson(stats));
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << "{\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    std::ostringstream key;
+    AppendJsonString(entries[i].first, &key);
+    out << "  " << key.str() << ": " << entries[i].second;
+    out << (i + 1 < entries.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
+  return out.good();
+}
+
+}  // namespace diablo

@@ -236,6 +236,9 @@ RunResult Primary::RunStreams(std::vector<WorkStream> streams,
   for (const WorkStream& stream : streams) {
     duration = std::max(duration, stream.trace.duration_seconds());
   }
+  // Heavy workloads momentarily hold tens of thousands of in-flight events;
+  // size the heap up-front so the hot loop never reallocates mid-burst.
+  sim.Reserve(std::min<size_t>(total_txs, 65536));
   DIABLO_LOG(LogLevel::kInfo,
              StrFormat("primary: %zu txs over %zu s on %s/%s (%zu streams)", total_txs,
                        duration, params.name.c_str(), setup_.deployment.c_str(),
@@ -248,6 +251,7 @@ RunResult Primary::RunStreams(std::vector<WorkStream> streams,
 
   const SimTime horizon = Seconds(static_cast<int64_t>(duration)) + setup_.drain;
   sim.RunUntil(horizon);
+  result.events_executed = sim.events_executed();
 
   result.report = BuildReport(ctx.txs(), horizon, params.name, setup_.deployment,
                               workload_name, static_cast<double>(duration));

@@ -43,6 +43,9 @@ struct RunResult {
   // (Fig. 5's X marks).
   std::string failure_reason;
   size_t behind_schedule = 0;
+  // Simulator events executed by this run; the parallel runner aggregates
+  // these into its events/sec figure.
+  uint64_t events_executed = 0;
 };
 
 // One independent submission stream: a trace plus what each of its

@@ -7,24 +7,15 @@
 namespace diablo {
 
 Network::Network(Simulation* sim, double jitter_frac)
-    : sim_(sim), jitter_frac_(jitter_frac), rng_(sim->ForkRng()) {}
+    : sim_(sim),
+      jitter_frac_(jitter_frac),
+      rng_(sim->ForkRng()),
+      extra_delays_(kRegionCount * kRegionCount, 0) {}
 
 HostId Network::AddHost(Region region) {
   regions_.push_back(region);
   partitioned_.push_back(false);
   return static_cast<HostId>(regions_.size() - 1);
-}
-
-SimDuration Network::ExtraDelay(Region a, Region b) const {
-  if (a > b) {
-    std::swap(a, b);
-  }
-  for (const auto& [pair, extra] : extra_delays_) {
-    if (pair.first == a && pair.second == b) {
-      return extra;
-    }
-  }
-  return 0;
 }
 
 SimDuration Network::DelaySample(HostId from, HostId to, int64_t bytes) {
@@ -36,8 +27,9 @@ SimDuration Network::DelaySample(HostId from, HostId to, int64_t bytes) {
   }
   const Region a = regions_[from];
   const Region b = regions_[to];
-  const SimDuration prop = Topology::PropagationDelay(a, b);
-  const SimDuration trans = Topology::TransmissionDelay(a, b, bytes);
+  const LinkParams& link = Topology::Link(a, b);
+  const SimDuration prop = link.propagation;
+  const SimDuration trans = Topology::TransmissionDelayOn(link, bytes);
   const double jitter_scale = jitter_frac_ * std::abs(rng_.NextGaussian(0.0, 1.0));
   const SimDuration jitter =
       static_cast<SimDuration>(static_cast<double>(prop) * jitter_scale);
@@ -93,9 +85,10 @@ std::vector<SimDuration> Network::BroadcastDelays(HostId origin,
       const HostId child = recipients[idx];
       const Region pr = regions_[parent.host];
       const Region cr = regions_[child];
+      const LinkParams& link = Topology::Link(pr, cr);
       const SimDuration slot =
-          Topology::TransmissionDelay(pr, cr, bytes) * static_cast<SimDuration>(k + 1);
-      const SimDuration prop = Topology::PropagationDelay(pr, cr);
+          Topology::TransmissionDelayOn(link, bytes) * static_cast<SimDuration>(k + 1);
+      const SimDuration prop = link.propagation;
       const double jitter_scale = jitter_frac_ * std::abs(rng_.NextGaussian(0.0, 1.0));
       const SimDuration jitter =
           static_cast<SimDuration>(static_cast<double>(prop) * jitter_scale);
@@ -109,16 +102,10 @@ std::vector<SimDuration> Network::BroadcastDelays(HostId origin,
 }
 
 void Network::SetExtraDelay(Region a, Region b, SimDuration extra) {
-  if (a > b) {
-    std::swap(a, b);
-  }
-  for (auto& [pair, value] : extra_delays_) {
-    if (pair.first == a && pair.second == b) {
-      value = extra;
-      return;
-    }
-  }
-  extra_delays_.push_back({{a, b}, extra});
+  extra_delays_[static_cast<size_t>(a) * kRegionCount + static_cast<size_t>(b)] =
+      extra;
+  extra_delays_[static_cast<size_t>(b) * kRegionCount + static_cast<size_t>(a)] =
+      extra;
 }
 
 void Network::SetPartitioned(HostId host, bool partitioned) {

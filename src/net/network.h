@@ -58,15 +58,20 @@ class Network {
   Simulation* sim() { return sim_; }
 
  private:
-  SimDuration ExtraDelay(Region a, Region b) const;
+  SimDuration ExtraDelay(Region a, Region b) const {
+    return extra_delays_[static_cast<size_t>(a) * kRegionCount +
+                         static_cast<size_t>(b)];
+  }
 
   Simulation* sim_;
   double jitter_frac_;
   Rng rng_;
   std::vector<Region> regions_;
   std::vector<bool> partitioned_;
-  // Sparse extra-delay entries: (min(a,b), max(a,b)) -> extra.
-  std::vector<std::pair<std::pair<Region, Region>, SimDuration>> extra_delays_;
+  // Dense region-pair matrix of injected extra delays, symmetric; zero when
+  // no fault is active. Dense so the per-message lookup is O(1) instead of a
+  // scan over the configured faults.
+  std::vector<SimDuration> extra_delays_;
 };
 
 }  // namespace diablo

@@ -62,14 +62,31 @@ double Topology::BandwidthMbps(Region a, Region b) {
   return i < j ? kBandwidthMbps[i][j] : kBandwidthMbps[j][i];
 }
 
+const LinkParams* Topology::LinkTable() {
+  // Built once, thread-safe (magic static); read-only afterwards so parallel
+  // experiment cells share it without synchronisation.
+  static const LinkParams* const kTable = [] {
+    auto* table = new LinkParams[kRegionCount * kRegionCount];
+    for (size_t i = 0; i < kRegionCount; ++i) {
+      for (size_t j = 0; j < kRegionCount; ++j) {
+        const Region a = static_cast<Region>(i);
+        const Region b = static_cast<Region>(j);
+        LinkParams& link = table[i * kRegionCount + j];
+        link.propagation = MillisecondsF(RttMs(a, b) / 2.0);
+        link.bandwidth_bps = BandwidthMbps(a, b) * 1e6;
+      }
+    }
+    return table;
+  }();
+  return kTable;
+}
+
 SimDuration Topology::PropagationDelay(Region a, Region b) {
-  return MillisecondsF(RttMs(a, b) / 2.0);
+  return Link(a, b).propagation;
 }
 
 SimDuration Topology::TransmissionDelay(Region a, Region b, int64_t bytes) {
-  const double mbps = BandwidthMbps(a, b);
-  const double seconds = static_cast<double>(bytes) * 8.0 / (mbps * 1e6);
-  return SecondsF(seconds);
+  return TransmissionDelayOn(Link(a, b), bytes);
 }
 
 }  // namespace diablo

@@ -9,6 +9,15 @@
 
 namespace diablo {
 
+// Precomputed per-region-pair link parameters. DelaySample and the gossip
+// broadcast are the simulator's hottest network paths; resolving a link
+// through this flat table is one multiply-free index computation instead of
+// two triangle lookups, a division and two unit conversions per message.
+struct LinkParams {
+  SimDuration propagation = 0;  // one-way, nanoseconds
+  double bandwidth_bps = 0;     // bits per second
+};
+
 class Topology {
  public:
   // Round-trip time between two regions in milliseconds.
@@ -22,6 +31,23 @@ class Topology {
 
   // Time to push `bytes` through the (a, b) link.
   static SimDuration TransmissionDelay(Region a, Region b, int64_t bytes);
+
+  // Flat-table lookup of the (a, b) link, symmetric in its arguments.
+  static const LinkParams& Link(Region a, Region b) {
+    return LinkTable()[static_cast<size_t>(a) * kRegionCount +
+                       static_cast<size_t>(b)];
+  }
+
+  // Transmission delay computed from cached LinkParams; bit-identical to
+  // TransmissionDelay (same operations on the same doubles).
+  static SimDuration TransmissionDelayOn(const LinkParams& link, int64_t bytes) {
+    return static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 /
+                                    link.bandwidth_bps *
+                                    static_cast<double>(kSecond));
+  }
+
+ private:
+  static const LinkParams* LinkTable();
 };
 
 }  // namespace diablo

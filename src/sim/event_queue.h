@@ -1,4 +1,4 @@
-// Binary-heap event queue for the discrete-event simulation.
+// 4-ary-heap event queue for the discrete-event simulation.
 //
 // Events at equal timestamps fire in insertion order (a monotonically
 // increasing sequence number breaks ties) so runs are deterministic
@@ -7,18 +7,21 @@
 #define SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "src/sim/event_fn.h"
 #include "src/support/time.h"
 
 namespace diablo {
 
-using EventFn = std::function<void()>;
-
 class EventQueue {
  public:
+  EventQueue();
+
   void Push(SimTime time, EventFn fn);
+
+  // Pre-sizes the heap so a known burst of Push calls never reallocates.
+  void Reserve(size_t events) { heap_.reserve(events); }
 
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
@@ -44,6 +47,10 @@ class EventQueue {
       return seq > other.seq;
     }
   };
+
+  // Heap fan-out. 4 halves the depth of a binary heap and keeps the
+  // sibling scan within one or two cache lines of contiguous entries.
+  static constexpr size_t kArity = 4;
 
   void SiftUp(size_t i);
   void SiftDown(size_t i);

@@ -40,6 +40,9 @@ class Simulation {
   // Requests that the loop stop after the current event.
   void Stop() { stopped_ = true; }
 
+  // Pre-sizes the event heap for a known number of in-flight events.
+  void Reserve(size_t events) { queue_.Reserve(events); }
+
   uint64_t events_executed() const { return events_executed_; }
   size_t pending_events() const { return queue_.size(); }
 

@@ -1,0 +1,232 @@
+// ThreadPool unit tests plus the determinism regression contract of the
+// parallel experiment runner: same seed => bit-identical results, serially
+// and under any DIABLO_JOBS.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/config/json.h"
+#include "src/core/parallel_runner.h"
+#include "src/core/results.h"
+#include "src/core/runner.h"
+#include "src/support/thread_pool.h"
+
+namespace diablo {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& future : futures) {
+    future.get();
+  }
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& future : futures) {
+    future.get();
+  }
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] {});
+  auto bad = pool.Submit([] { throw std::runtime_error("cell exploded"); });
+  ok.get();
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] { ++ran; });
+    }
+    // Destructor must finish every queued task before joining.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1);
+}
+
+TEST(ParallelRunnerTest, JobsFromEnvParsesOverride) {
+  ASSERT_EQ(setenv("DIABLO_JOBS", "3", 1), 0);
+  EXPECT_EQ(ParallelRunner::JobsFromEnv(), 3);
+  ASSERT_EQ(setenv("DIABLO_JOBS", "bogus", 1), 0);
+  EXPECT_EQ(ParallelRunner::JobsFromEnv(), ThreadPool::HardwareConcurrency());
+  ASSERT_EQ(unsetenv("DIABLO_JOBS"), 0);
+  EXPECT_EQ(ParallelRunner::JobsFromEnv(), ThreadPool::HardwareConcurrency());
+}
+
+TEST(ParallelRunnerTest, ResultsComeBackInCellOrder) {
+  ParallelRunner runner(4);
+  std::vector<ExperimentCell> cells;
+  for (int i = 0; i < 8; ++i) {
+    cells.push_back({"cell" + std::to_string(i), [i] {
+                       RunResult result;
+                       result.behind_schedule = static_cast<size_t>(i);
+                       return result;
+                     }});
+  }
+  const std::vector<RunResult> results = runner.Run(std::move(cells));
+  ASSERT_EQ(results.size(), 8u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].behind_schedule, i);
+  }
+}
+
+TEST(ParallelRunnerTest, CellExceptionPropagates) {
+  ParallelRunner runner(2);
+  std::vector<ExperimentCell> cells;
+  cells.push_back({"ok", [] { return RunResult(); }});
+  cells.push_back({"bad", []() -> RunResult {
+                     throw std::runtime_error("cell failed");
+                   }});
+  EXPECT_THROW(runner.Run(std::move(cells)), std::runtime_error);
+}
+
+TEST(ParallelRunnerTest, StatsAccumulateEvents) {
+  ParallelRunner runner(1);
+  std::vector<ExperimentCell> cells;
+  cells.push_back({"a", [] {
+                     RunResult result;
+                     result.events_executed = 10;
+                     return result;
+                   }});
+  cells.push_back({"b", [] {
+                     RunResult result;
+                     result.events_executed = 32;
+                     return result;
+                   }});
+  runner.Run(std::move(cells));
+  EXPECT_EQ(runner.stats().cells, 2u);
+  EXPECT_EQ(runner.stats().total_events, 42u);
+}
+
+TEST(CellSeedTest, DistinctAndThreadIndependent) {
+  EXPECT_NE(CellSeed(1, 0), CellSeed(1, 1));
+  EXPECT_NE(CellSeed(1, 0), CellSeed(2, 0));
+  EXPECT_EQ(CellSeed(7, 3), CellSeed(7, 3));
+}
+
+// Everything the report serializes plus the raw counters; if two runs agree
+// on all of this, they took the same simulated trajectory.
+std::string Fingerprint(const RunResult& result) {
+  return ReportToJson(result.report) + "|events=" +
+         std::to_string(result.events_executed) +
+         "|behind=" + std::to_string(result.behind_schedule) +
+         "|fail=" + result.failure_reason;
+}
+
+// Small native runs: enough traffic to exercise consensus, short enough for
+// a unit test.
+RunResult RunDeterminismCell(const std::string& chain, uint64_t seed) {
+  return RunNativeBenchmark(chain, "testnet", /*tps=*/30, /*seconds=*/10, seed);
+}
+
+TEST(DeterminismTest, SerialRunsAreBitIdentical) {
+  for (const char* chain : {"algorand", "solana"}) {
+    const RunResult a = RunDeterminismCell(chain, 11);
+    const RunResult b = RunDeterminismCell(chain, 11);
+    EXPECT_EQ(Fingerprint(a), Fingerprint(b)) << chain;
+  }
+}
+
+TEST(DeterminismTest, ParallelResultsInvariantToJobCount) {
+  // The same 4-cell grid (2 chains x 2 cell-indexed seeds) must produce
+  // bit-identical results serially, with jobs=1 and with jobs=4.
+  const std::vector<std::string> chains = {"algorand", "solana"};
+  auto build_cells = [&chains] {
+    std::vector<ExperimentCell> cells;
+    for (size_t c = 0; c < chains.size(); ++c) {
+      for (uint64_t rep = 0; rep < 2; ++rep) {
+        const std::string chain = chains[c];
+        const uint64_t seed = CellSeed(/*base_seed=*/1, c * 2 + rep);
+        cells.push_back({chain + "#" + std::to_string(rep),
+                         [chain, seed] { return RunDeterminismCell(chain, seed); }});
+      }
+    }
+    return cells;
+  };
+
+  std::vector<std::string> serial;
+  for (ExperimentCell& cell : build_cells()) {
+    serial.push_back(Fingerprint(cell.run()));
+  }
+
+  ParallelRunner one_job(1);
+  const std::vector<RunResult> with_one = one_job.Run(build_cells());
+  ParallelRunner four_jobs(4);
+  const std::vector<RunResult> with_four = four_jobs.Run(build_cells());
+
+  ASSERT_EQ(with_one.size(), serial.size());
+  ASSERT_EQ(with_four.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(Fingerprint(with_one[i]), serial[i]) << "cell " << i;
+    EXPECT_EQ(Fingerprint(with_four[i]), serial[i]) << "cell " << i;
+  }
+}
+
+TEST(RunnerStatsTest, JsonRoundTripKeepsOtherBinaries) {
+  const std::string path = ::testing::TempDir() + "/BENCH_runner_test.json";
+  RunnerStats first;
+  first.jobs = 4;
+  first.cells = 24;
+  first.wall_seconds = 1.5;
+  first.total_events = 3000;
+  ASSERT_TRUE(WriteRunnerStatsJson(path, "fig3_scalability", first));
+
+  RunnerStats second;
+  second.jobs = 2;
+  second.cells = 3;
+  second.wall_seconds = 0.25;
+  second.total_events = 500;
+  ASSERT_TRUE(WriteRunnerStatsJson(path, "table1", second));
+  // Overwrite fig3's entry; table1's must survive.
+  first.cells = 48;
+  ASSERT_TRUE(WriteRunnerStatsJson(path, "fig3_scalability", first));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonResult parsed = ParseJson(buffer.str());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ASSERT_TRUE(parsed.value.IsObject());
+  const JsonValue* fig3 = parsed.value.Find("fig3_scalability");
+  const JsonValue* table1 = parsed.value.Find("table1");
+  ASSERT_NE(fig3, nullptr);
+  ASSERT_NE(table1, nullptr);
+  EXPECT_EQ(fig3->GetNumber("cells", 0), 48);
+  EXPECT_EQ(fig3->GetNumber("jobs", 0), 4);
+  EXPECT_EQ(table1->GetNumber("total_events", 0), 500);
+  EXPECT_GT(fig3->GetNumber("events_per_second", -1), 0);
+}
+
+}  // namespace
+}  // namespace diablo

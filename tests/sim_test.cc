@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "src/sim/event_queue.h"
@@ -7,6 +9,64 @@
 
 namespace diablo {
 namespace {
+
+TEST(EventFnTest, InvokesInlineCapture) {
+  int fired = 0;
+  EventFn fn([&fired] { ++fired; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventFnTest, DefaultIsEmpty) {
+  EventFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(EventFnTest, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  EventFn a([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  EventFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(counter.use_count(), 2);
+  b();
+  EXPECT_EQ(*counter, 1);
+  EventFn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(*counter, 2);
+}
+
+TEST(EventFnTest, DestructionReleasesCapture) {
+  auto token = std::make_shared<int>(7);
+  {
+    EventFn fn([token] { (void)*token; });
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventFnTest, OversizedCaptureUsesHeapAndStillRuns) {
+  // Way past kInlineSize: forces the heap fallback path.
+  std::array<uint64_t, 16> payload{};
+  payload[0] = 41;
+  payload[15] = 1;
+  uint64_t out = 0;
+  EventFn fn([payload, &out] { out = payload[0] + payload[15]; });
+  EventFn moved(std::move(fn));
+  moved();
+  EXPECT_EQ(out, 42u);
+}
+
+TEST(EventFnTest, AssignmentDestroysPreviousCapture) {
+  auto first = std::make_shared<int>(1);
+  auto second = std::make_shared<int>(2);
+  EventFn fn([first] { (void)*first; });
+  fn = EventFn([second] { (void)*second; });
+  EXPECT_EQ(first.use_count(), 1);
+  EXPECT_EQ(second.use_count(), 2);
+}
 
 TEST(EventQueueTest, OrdersByTime) {
   EventQueue queue;
@@ -52,6 +112,48 @@ TEST(EventQueueTest, ClearResets) {
   queue.Clear();
   EXPECT_TRUE(queue.empty());
   EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueueTest, ClearReleasesCaptures) {
+  auto token = std::make_shared<int>(0);
+  EventQueue queue;
+  queue.Push(1, [token] { ++*token; });
+  queue.Push(2, [token] { ++*token; });
+  EXPECT_EQ(token.use_count(), 3);
+  queue.Clear();
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueueTest, TiesFireInInsertionOrderAfterClear) {
+  // Clear() resets the tie-break sequence; a reused queue must still fire
+  // equal-time events in their (new) insertion order.
+  EventQueue queue;
+  queue.Push(5, [] {});
+  queue.Clear();
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    queue.Push(Seconds(2), [&fired, i] { fired.push_back(i); });
+  }
+  while (!queue.empty()) {
+    SimTime t = 0;
+    queue.Pop(&t)();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, MixedInlineAndHeapCaptures) {
+  EventQueue queue;
+  queue.Reserve(64);
+  std::vector<int> fired;
+  std::array<int, 32> big{};
+  big[31] = 2;
+  queue.Push(Seconds(2), [&fired, big] { fired.push_back(big[31]); });
+  queue.Push(Seconds(1), [&fired] { fired.push_back(1); });
+  while (!queue.empty()) {
+    SimTime t = 0;
+    queue.Pop(&t)();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
 }
 
 TEST(EventQueueTest, LargeHeapStaysSorted) {
