@@ -31,16 +31,19 @@ inline std::vector<RunResult> RunCells(ParallelRunner& runner,
 }
 
 // Records the binary's runner stats into BENCH_runner.json (cwd), keeping
-// other binaries' entries, and prints the one-line summary.
+// other binaries' entries under the shared schema_version stamp
+// (kRunnerStatsSchemaVersion), and prints the one-line summary. Every
+// figure/table binary calls this, so a full suite pass leaves one entry per
+// binary in the file.
 inline void FinishRunnerReport(const std::string& binary,
                                const ParallelRunner& runner) {
   const RunnerStats& stats = runner.stats();
   std::printf(
       "[runner] %s: %zu cells in %.2f s wall, %llu events (%.0f events/s) "
-      "with %d jobs\n",
+      "with %d jobs (schema v%d)\n",
       binary.c_str(), stats.cells, stats.wall_seconds,
       static_cast<unsigned long long>(stats.total_events),
-      stats.EventsPerSecond(), stats.jobs);
+      stats.EventsPerSecond(), stats.jobs, kRunnerStatsSchemaVersion);
   if (!WriteRunnerStatsJson("BENCH_runner.json", binary, stats)) {
     std::fprintf(stderr, "[runner] warning: could not write BENCH_runner.json\n");
   }

@@ -3,8 +3,8 @@
 namespace diablo {
 
 void Ledger::Append(Block block) {
-  total_txs_ += block.txs.size();
-  blocks_.push_back(std::move(block));
+  total_txs_ += block.tx_count;
+  blocks_.push_back(block);
 }
 
 Digest256 Ledger::HeaderChainDigest() const {
@@ -12,7 +12,7 @@ Digest256 Ledger::HeaderChainDigest() const {
   for (const Block& block : blocks_) {
     hasher.Update(&block.height, sizeof(block.height));
     hasher.Update(&block.proposer, sizeof(block.proposer));
-    const uint64_t n = block.txs.size();
+    const uint64_t n = block.tx_count;
     hasher.Update(&n, sizeof(n));
   }
   return hasher.Finish();

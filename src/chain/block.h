@@ -23,7 +23,11 @@ struct Block {
   int64_t bytes = 0;           // wire size, header included
   SimTime proposed_at = 0;
   SimTime finalized_at = -1;   // -1 while not yet final
-  std::vector<TxId> txs;
+  // Transaction ids live in the owning ChainContext's flat block-tx pool
+  // (ChainContext::BlockTxs resolves the range); keeping just the range here
+  // makes Block trivially copyable and the ledger one contiguous vector.
+  uint32_t tx_begin = 0;
+  uint32_t tx_count = 0;
 };
 
 // Fixed header overhead added to the transaction payload bytes.
@@ -33,6 +37,9 @@ class Ledger {
  public:
   // Appends a block; heights must be appended in increasing order.
   void Append(Block block);
+
+  // Pre-sizes the chain for an expected block count.
+  void Reserve(size_t blocks) { blocks_.reserve(blocks); }
 
   size_t block_count() const { return blocks_.size(); }
   const Block& block(size_t i) const { return blocks_[i]; }

@@ -17,10 +17,12 @@ int CostOracle::Deploy(const ContractDef& def) {
   deployed->profiles.resize(deployed->functions.size());
   deployed->measured.resize(deployed->functions.size(), false);
 
-  if (deployed->program.EntryOf("init") >= 0) {
+  const int64_t init_entry = deployed->program.EntryOf("init");
+  if (init_entry >= 0) {
     ExecRequest request;
     request.program = &deployed->program;
     request.function = "init";
+    request.entry = init_entry;
     request.args = def.init_args;
     request.caller = 0;
     request.state = &deployed->state;
@@ -71,6 +73,9 @@ const CallProfile& CostOracle::Profile(int contract_index, const std::string& fu
     ExecRequest request;
     request.program = &deployed.program;
     request.function = function;
+    // deployed.functions mirrors program.functions, so the FunctionIndex
+    // lookup above already names the entry — no second scan in Execute.
+    request.entry = deployed.program.functions[static_cast<size_t>(fn)].offset;
     request.args = args;
     request.caller = 1;
     request.state = &deployed.state;

@@ -2,6 +2,73 @@
 
 namespace diablo {
 
+void Mempool::Reserve(size_t expected_txs) {
+  if (expected_txs > state_.size()) {
+    state_.resize(expected_txs, kGone);
+    ingress_.resize(expected_txs, 0);
+    signer_of_.resize(expected_txs, 0);
+  }
+  // The pending set is bounded by the cap when there is one; otherwise be
+  // generous up to the event queue's pre-sizing convention.
+  const size_t pending =
+      config_.global_cap > 0
+          ? std::min(expected_txs, config_.global_cap + 1)
+          : std::min<size_t>(expected_txs, 65536);
+  heap_.reserve(pending);
+  if (config_.evict_on_full) {
+    ring_.reserve(pending * 2);
+  }
+}
+
+void Mempool::HeapPush(HeapEntry entry) {
+  // Hole insertion: bubble the hole up, one move per level instead of a
+  // three-move swap.
+  heap_.push_back(entry);
+  size_t hole = heap_.size() - 1;
+  while (hole > 0) {
+    const size_t parent = (hole - 1) / 2;
+    if (!Later(heap_[parent], entry)) {
+      break;
+    }
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = entry;
+}
+
+void Mempool::HeapPopTop() {
+  // Bottom-up pop: the replacement element comes from the back of the
+  // array, so it almost always belongs near a leaf again. Sift the hole
+  // all the way down choosing the smaller child (one comparison per
+  // level, never against `moving`), then bubble `moving` back up the few
+  // levels it needs — fewer comparisons than the classic top-down sift.
+  const HeapEntry moving = heap_.back();
+  heap_.pop_back();
+  const size_t count = heap_.size();
+  if (count == 0) {
+    return;
+  }
+  size_t hole = 0;
+  size_t child = 2 * hole + 1;
+  while (child < count) {
+    if (child + 1 < count && Later(heap_[child], heap_[child + 1])) {
+      ++child;
+    }
+    heap_[hole] = heap_[child];
+    hole = child;
+    child = 2 * hole + 1;
+  }
+  while (hole > 0) {
+    const size_t parent = (hole - 1) / 2;
+    if (!Later(heap_[parent], moving)) {
+      break;
+    }
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = moving;
+}
+
 AdmitResult Mempool::Add(TxId id, uint32_t signer, SimTime ingress_time,
                          SimTime ready_time, TxId* evicted) {
   if (evicted != nullptr) {
@@ -22,6 +89,9 @@ AdmitResult Mempool::Add(TxId id, uint32_t signer, SimTime ingress_time,
     }
   }
   if (config_.per_signer_cap > 0) {
+    if (static_cast<size_t>(signer) >= signer_counts_.size()) {
+      signer_counts_.resize(static_cast<size_t>(signer) + 1, 0);
+    }
     uint32_t& count = signer_counts_[signer];
     if (count >= config_.per_signer_cap) {
       ++rejected_;
@@ -29,9 +99,13 @@ AdmitResult Mempool::Add(TxId id, uint32_t signer, SimTime ingress_time,
     }
     ++count;
   }
-  queue_.push(Entry{ready_time, ingress_time, id, signer});
+  EnsureTx(id);
+  state_[id] = kLive;
+  ingress_[id] = ingress_time;
+  signer_of_[id] = signer;
+  HeapPush(HeapEntry{ready_time, id});
   if (config_.evict_on_full) {
-    ring_.emplace_back(id, signer);
+    ring_.push_back(id);
     CompactRingIfNeeded();
   }
   ++live_count_;
@@ -42,15 +116,15 @@ AdmitResult Mempool::Add(TxId id, uint32_t signer, SimTime ingress_time,
 TxId Mempool::EvictRandom() {
   while (!ring_.empty()) {
     const size_t slot = rng_->NextBelow(ring_.size());
-    const auto [id, signer] = ring_[slot];
+    const TxId id = ring_[slot];
     ring_[slot] = ring_.back();
     ring_.pop_back();
-    if (gone_.erase(id) > 0) {
+    if (state_[id] != kLive) {
       continue;  // stale slot: already taken/expired/evicted
     }
-    // Live victim: mark it a zombie so TakeReady skips its queue entry.
-    zombies_.insert(id);
-    ReleaseSigner(signer);
+    // Live victim: mark it a zombie so TakeReady skips its heap entry.
+    state_[id] = kZombie;
+    ReleaseSigner(signer_of_[id]);
     --live_count_;
     ++evictions_;
     return id;
@@ -62,31 +136,14 @@ void Mempool::CompactRingIfNeeded() {
   if (ring_.size() < 64 || ring_.size() < 2 * live_count_) {
     return;
   }
-  std::vector<std::pair<TxId, uint32_t>> compacted;
-  compacted.reserve(live_count_);
-  for (const auto& [id, signer] : ring_) {
-    if (gone_.erase(id) > 0) {
-      continue;
+  // Keep live slots, preserving order, without a scratch vector.
+  size_t out = 0;
+  for (const TxId id : ring_) {
+    if (state_[id] == kLive) {
+      ring_[out++] = id;
     }
-    compacted.emplace_back(id, signer);
   }
-  ring_ = std::move(compacted);
-}
-
-void Mempool::NoteGone(TxId id) {
-  if (config_.evict_on_full) {
-    gone_.insert(id);
-  }
-}
-
-void Mempool::ReleaseSigner(uint32_t signer) {
-  if (config_.per_signer_cap == 0) {
-    return;
-  }
-  const auto it = signer_counts_.find(signer);
-  if (it != signer_counts_.end() && it->second > 0) {
-    --it->second;
-  }
+  ring_.resize(out);
 }
 
 void Mempool::Requeue(const std::vector<TxId>& txs, const std::vector<uint32_t>& signers,
@@ -94,11 +151,18 @@ void Mempool::Requeue(const std::vector<TxId>& txs, const std::vector<uint32_t>&
                       const std::vector<SimTime>& ready) {
   for (size_t i = 0; i < txs.size(); ++i) {
     if (config_.per_signer_cap > 0) {
+      if (static_cast<size_t>(signers[i]) >= signer_counts_.size()) {
+        signer_counts_.resize(static_cast<size_t>(signers[i]) + 1, 0);
+      }
       ++signer_counts_[signers[i]];
     }
-    queue_.push(Entry{ready[i], ingress[i], txs[i], signers[i]});
+    EnsureTx(txs[i]);
+    state_[txs[i]] = kLive;
+    ingress_[txs[i]] = ingress[i];
+    signer_of_[txs[i]] = signers[i];
+    HeapPush(HeapEntry{ready[i], txs[i]});
     if (config_.evict_on_full) {
-      ring_.emplace_back(txs[i], signers[i]);
+      ring_.push_back(txs[i]);
     }
     ++live_count_;
   }

@@ -93,25 +93,33 @@ ChainContext::BuiltBlock ChainContext::BuildBlock(SimTime now, int proposer) {
     }
   }
 
-  std::vector<TxId> expired;
-  built.txs = mempool_.TakeReady(
+  // Taken ids go straight into the context's flat block-tx pool; the
+  // expired batch is per-block scratch served from the arena. With both
+  // pre-sized, drafting a block performs no heap allocation.
+  scratch_arena_.Reset();
+  ArenaVector<TxId> expired(&scratch_arena_);
+  built.tx_begin = static_cast<uint32_t>(block_txs_.size());
+  const int64_t* gas_table = txs_.gas_data();
+  const int32_t* bytes_table = txs_.bytes_data();
+  mempool_.TakeReady(
       now, gas_limit, params_.max_block_bytes, max_txs,
-      [this](TxId id) { return txs_.at(id).gas; },
-      [this](TxId id) { return static_cast<int64_t>(txs_.at(id).size_bytes); }, &expired);
+      [gas_table](TxId id) { return gas_table[id]; },
+      [bytes_table](TxId id) { return static_cast<int64_t>(bytes_table[id]); },
+      &block_txs_, &expired);
+  built.tx_count = static_cast<uint32_t>(block_txs_.size()) - built.tx_begin;
   for (const TxId id : expired) {
     ++stats_.txs_expired;
     DropTx(id);
   }
 
-  for (const TxId id : built.txs) {
-    const Transaction& tx = txs_.at(id);
-    built.gas += tx.gas;
-    built.bytes += tx.size_bytes;
+  for (const TxId id : BlockTxs(built)) {
+    built.gas += gas_table[id];
+    built.bytes += bytes_table[id];
   }
 
   // Proposer work: scan of the pending set, block execution, signature
   // verification.
-  built.build_time = PoolScanTime() + ExecAndVerifyTime(built.gas, built.txs.size());
+  built.build_time = PoolScanTime() + ExecAndVerifyTime(built.gas, built.tx_count);
   return built;
 }
 
@@ -136,7 +144,7 @@ SimDuration ChainContext::ExecAndVerifyTime(int64_t gas, size_t tx_count) const 
 void ChainContext::FinalizeBlock(uint64_t height, int proposer, BuiltBlock&& built,
                                  SimTime proposed_at, SimTime final_time) {
   ++stats_.blocks_produced;
-  if (built.txs.empty()) {
+  if (built.tx_count == 0) {
     ++stats_.empty_blocks;
   }
 
@@ -147,9 +155,10 @@ void ChainContext::FinalizeBlock(uint64_t height, int proposer, BuiltBlock&& bui
   block.bytes = built.bytes;
   block.proposed_at = proposed_at;
   block.finalized_at = final_time;
-  block.txs = std::move(built.txs);
+  block.tx_begin = built.tx_begin;
+  block.tx_count = built.tx_count;
 
-  for (const TxId id : block.txs) {
+  for (const TxId id : BlockTxs(block)) {
     Transaction& tx = txs_.at(id);
     // Client observation: collocated secondaries learn of the commit on the
     // next head notification.
@@ -168,7 +177,7 @@ void ChainContext::FinalizeBlock(uint64_t height, int proposer, BuiltBlock&& bui
       on_tx_complete(id);
     }
   }
-  ledger_.Append(std::move(block));
+  ledger_.Append(block);
 }
 
 void ChainContext::DropTx(TxId id, VmStatus reason) {

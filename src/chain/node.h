@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "src/net/deployment.h"
 #include "src/net/network.h"
 #include "src/sim/simulation.h"
+#include "src/support/arena.h"
 
 namespace diablo {
 
@@ -121,6 +123,16 @@ class ChainContext {
   ChainStats& stats() { return stats_; }
   const ChainStats& stats() const { return stats_; }
 
+  // Pre-sizes transaction storage, the mempool side tables and the block-tx
+  // pool for a run expected to carry `expected_txs` transactions, so the
+  // steady-state submission/assembly path never reallocates. The event
+  // queue gets the same treatment in Primary.
+  void ReserveTxs(size_t expected_txs) {
+    txs_.Reserve(expected_txs);
+    mempool_.Reserve(expected_txs);
+    block_txs_.reserve(expected_txs);
+  }
+
   // --- submission path (called by the diablo core) -----------------------
   // Handles a transaction arriving at endpoint node `endpoint` at time
   // `arrival`. Applies admission control and schedules gossip readiness.
@@ -128,13 +140,27 @@ class ChainContext {
   bool SubmitAtEndpoint(TxId id, int endpoint, SimTime arrival);
 
   // --- engine helpers -----------------------------------------------------
+  // Transaction ids of drafted blocks live in one flat append-only pool on
+  // the context (each id is written there once, by TakeReady, and never
+  // copied again); BuiltBlock and Block carry (tx_begin, tx_count) ranges
+  // into it. Engines that buffer drafts across rounds (clique's confirmation
+  // window, hotstuff's 3-chain) can hold BuiltBlocks freely — the pool never
+  // shrinks or moves entries within a run.
   struct BuiltBlock {
-    std::vector<TxId> txs;
+    uint32_t tx_begin = 0;
+    uint32_t tx_count = 0;
     int64_t gas = 0;
     int64_t bytes = kBlockHeaderBytes;
     // Proposer-side preparation: pool scan, execution, signature checks.
     SimDuration build_time = 0;
   };
+
+  std::span<const TxId> BlockTxs(const BuiltBlock& built) const {
+    return {block_txs_.data() + built.tx_begin, built.tx_count};
+  }
+  std::span<const TxId> BlockTxs(const Block& block) const {
+    return {block_txs_.data() + block.tx_begin, block.tx_count};
+  }
 
   // Drafts a block at `now` from the proposer's view of the pool, honoring
   // gas/count limits and the congestion model.
@@ -175,6 +201,10 @@ class ChainContext {
   ChainStats stats_;
   ExecutionModel exec_model_;
   std::vector<uint32_t> arrivals_per_second_;
+  // Flat pool of every drafted block's transaction ids (see BuiltBlock).
+  std::vector<TxId> block_txs_;
+  // Per-block scratch (expired batches); reset at the top of BuildBlock.
+  Arena scratch_arena_;
 };
 
 // Strategy interface: each consensus protocol schedules its own rounds

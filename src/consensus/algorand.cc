@@ -36,7 +36,7 @@ void AlgorandEngine::Round() {
   // timeout before soft-voting (the λ parameter of BA*).
   const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
       hosts[static_cast<size_t>(proposer)], hosts, built.bytes, params.gossip_fanout);
-  const SimDuration verify = ctx_->ExecAndVerifyTime(built.gas, built.txs.size());
+  const SimDuration verify = ctx_->ExecAndVerifyTime(built.gas, built.tx_count);
 
   auto vote_step = [&](uint64_t step, const std::vector<SimDuration>& start_times) {
     const std::vector<uint32_t> committee =

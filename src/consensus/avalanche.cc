@@ -68,7 +68,7 @@ void AvalancheEngine::ProduceBlock() {
   const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
       hosts[static_cast<size_t>(proposer)], hosts, built.bytes, params.gossip_fanout);
   const SimDuration propagation = MedianDelay(bcast);
-  const SimDuration verify = ctx_->ExecAndVerifyTime(built.gas, built.txs.size());
+  const SimDuration verify = ctx_->ExecAndVerifyTime(built.gas, built.tx_count);
   const SimDuration decision = DecisionTime(proposer);
 
   const SimTime final_time =

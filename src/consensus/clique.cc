@@ -35,7 +35,7 @@ void CliqueEngine::ProduceBlock() {
   const SimDuration propagation = MedianDelay(bcast);
   const SimTime visible = t0 + built.build_time +
                           (propagation == kUnreachable ? Seconds(1) : propagation) +
-                          ctx_->ExecAndVerifyTime(built.gas, built.txs.size());
+                          ctx_->ExecAndVerifyTime(built.gas, built.tx_count);
 
   pending_.push_back(
       PendingBlock{height_, proposer, std::move(built), t0, visible});

@@ -59,7 +59,7 @@ void DbftEngine::Round() {
 
   // Deterministic finality; every node then executes the union block.
   const SimTime final_time =
-      t0 + round_latency + ctx_->ExecAndVerifyTime(built.gas, built.txs.size());
+      t0 + round_latency + ctx_->ExecAndVerifyTime(built.gas, built.tx_count);
   ctx_->FinalizeBlock(height_, sampled, std::move(built), t0, final_time);
   ++height_;
 

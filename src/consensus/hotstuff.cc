@@ -36,7 +36,7 @@ void HotStuffEngine::Round() {
   // the next leader, which needs a 2f+1 quorum certificate.
   const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
       hosts[static_cast<size_t>(leader)], hosts, built.bytes, /*fanout=*/n - 1);
-  const SimDuration follower_exec = ctx_->ExecAndVerifyTime(built.gas, built.txs.size());
+  const SimDuration follower_exec = ctx_->ExecAndVerifyTime(built.gas, built.tx_count);
   std::vector<SimDuration> received(static_cast<size_t>(n), kUnreachable);
   for (int i = 0; i < n; ++i) {
     if (bcast[static_cast<size_t>(i)] != kUnreachable) {

@@ -37,7 +37,7 @@ void IbftEngine::Round() {
   // PRE-PREPARE: the proposal reaches every validator, which re-executes it.
   const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
       hosts[static_cast<size_t>(leader)], hosts, built.bytes, params.gossip_fanout);
-  const SimDuration follower_exec = ctx_->ExecAndVerifyTime(built.gas, built.txs.size());
+  const SimDuration follower_exec = ctx_->ExecAndVerifyTime(built.gas, built.tx_count);
   std::vector<SimDuration> preprepared(static_cast<size_t>(n), kUnreachable);
   for (int i = 0; i < n; ++i) {
     if (bcast[static_cast<size_t>(i)] != kUnreachable) {

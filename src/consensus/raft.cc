@@ -23,7 +23,7 @@ void RaftEngine::Round() {
   // commits once a majority acknowledged.
   const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
       hosts[static_cast<size_t>(leader_)], hosts, built.bytes, /*fanout=*/n - 1);
-  const SimDuration follower_exec = ctx_->ExecAndVerifyTime(built.gas, built.txs.size());
+  const SimDuration follower_exec = ctx_->ExecAndVerifyTime(built.gas, built.tx_count);
   std::vector<SimDuration> acked(static_cast<size_t>(n), kUnreachable);
   for (int i = 0; i < n; ++i) {
     if (bcast[static_cast<size_t>(i)] != kUnreachable) {

@@ -184,7 +184,9 @@ bool WriteRunnerStatsJson(const std::string& path, const std::string& binary,
       const JsonResult parsed = ParseJson(raw.str());
       if (parsed.ok && parsed.value.IsObject()) {
         for (const auto& [key, value] : parsed.value.members) {
-          if (key == binary) {
+          // The schema stamp is re-emitted at the top, never copied through;
+          // this binary's entry is replaced below.
+          if (key == binary || key == "schema_version") {
             continue;
           }
           std::ostringstream serialized;
@@ -201,6 +203,7 @@ bool WriteRunnerStatsJson(const std::string& path, const std::string& binary,
     return false;
   }
   out << "{\n";
+  out << "  \"schema_version\": " << kRunnerStatsSchemaVersion << ",\n";
   for (size_t i = 0; i < entries.size(); ++i) {
     std::ostringstream key;
     AppendJsonString(entries[i].first, &key);

@@ -70,10 +70,16 @@ class ParallelRunner {
 // every cell gets an independent stream no matter which thread runs it.
 uint64_t CellSeed(uint64_t base_seed, uint64_t cell_index);
 
-// Writes (or updates) `path` — a JSON object mapping benchmark binary names
-// to their runner stats — replacing this binary's entry and keeping the
-// others, so successive bench binaries accumulate into one report. Returns
-// false on I/O failure.
+// Version stamp of the BENCH_runner.json layout. Version 2 added the
+// top-level "schema_version" key itself; bump it when an entry field is
+// added, removed or changes meaning, so perf-trajectory tooling comparing
+// files across PRs can tell layouts apart.
+inline constexpr int kRunnerStatsSchemaVersion = 2;
+
+// Writes (or updates) `path` — a JSON object with a "schema_version" stamp
+// plus one member per benchmark binary mapping to its runner stats —
+// replacing this binary's entry and keeping the others, so successive bench
+// binaries accumulate into one report. Returns false on I/O failure.
 bool WriteRunnerStatsJson(const std::string& path, const std::string& binary,
                           const RunnerStats& stats);
 

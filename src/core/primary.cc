@@ -201,13 +201,20 @@ RunResult Primary::RunStreams(std::vector<WorkStream> streams,
     }
   }
 
-  // Pre-sign and partition every stream.
+  // Pre-sign and partition every stream. Arrivals are expanded for all
+  // streams first so transaction storage, the mempool side tables and the
+  // block-tx pool can be sized once for the whole run before encoding
+  // begins — the same up-front treatment the event heap gets below.
   size_t total_txs = 0;
+  std::vector<std::vector<SimTime>> stream_arrivals(streams.size());
+  for (size_t i = 0; i < streams.size(); ++i) {
+    stream_arrivals[i] = ExpandArrivals(streams[i].trace, ArrivalProcess::kUniform, nullptr);
+    total_txs += stream_arrivals[i].size();
+  }
+  ctx.ReserveTxs(total_txs);
   for (size_t i = 0; i < streams.size(); ++i) {
     const WorkStream& stream = streams[i];
-    const std::vector<SimTime> arrivals =
-        ExpandArrivals(stream.trace, ArrivalProcess::kUniform, nullptr);
-    total_txs += arrivals.size();
+    const std::vector<SimTime>& arrivals = stream_arrivals[i];
     DappWorkload mix;  // provides InvocationFor when no fixed invocation
     mix.name = stream.dapp_name.empty() ? stream.contract : stream.dapp_name;
     mix.fixed = stream.fixed;

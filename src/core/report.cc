@@ -15,6 +15,10 @@ Report BuildReport(const TxStore& txs, SimTime horizon, std::string chain,
   report.workload = std::move(workload);
   report.workload_duration = workload_duration;
 
+  // One latency sample per committed transaction at most; sizing for the
+  // whole store keeps the aggregation loop reallocation-free.
+  report.latencies.Reserve(txs.size());
+
   SimTime last_commit = 0;
   for (TxId id = 0; id < txs.size(); ++id) {
     const Transaction& tx = txs.at(id);

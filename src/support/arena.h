@@ -1,0 +1,155 @@
+// Monotonic bump allocator for per-block scratch data.
+//
+// Block assembly produces short-lived batches (expired-transaction lists,
+// per-block scratch) whose lifetime ends when the block is sealed. An Arena
+// hands out raw memory with pointer arithmetic and reclaims everything at
+// once with Reset(), which keeps the capacity: after the first block of a
+// run, steady-state block production performs zero heap allocations.
+#ifndef SRC_SUPPORT_ARENA_H_
+#define SRC_SUPPORT_ARENA_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace diablo {
+
+class Arena {
+ public:
+  explicit Arena(size_t initial_bytes = 1024) {
+    chunks_.push_back(MakeChunk(initial_bytes));
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* Allocate(size_t bytes, size_t alignment) {
+    size_t aligned = AlignUp(offset_, alignment);
+    if (aligned + bytes > chunks_[current_].size) {
+      AddChunk(bytes + alignment);
+      aligned = AlignUp(offset_, alignment);
+    }
+    void* p = chunks_[current_].data.get() + aligned;
+    offset_ = aligned + bytes;
+    return p;
+  }
+
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "the arena never runs destructors");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  // Reclaims every allocation at once. If the arena grew past its first
+  // chunk, the chunks coalesce into a single one of the total size, so a
+  // warmed-up arena serves any same-shaped workload from one chunk with no
+  // further heap traffic.
+  void Reset() {
+    if (chunks_.size() > 1) {
+      size_t total = 0;
+      for (const Chunk& chunk : chunks_) {
+        total += chunk.size;
+      }
+      chunks_.clear();
+      chunks_.push_back(MakeChunk(total));
+    }
+    current_ = 0;
+    offset_ = 0;
+  }
+
+  // Total bytes owned (not bytes in use); for tests and sizing decisions.
+  size_t capacity() const {
+    size_t total = 0;
+    for (const Chunk& chunk : chunks_) {
+      total += chunk.size;
+    }
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+  };
+
+  static size_t AlignUp(size_t offset, size_t alignment) {
+    return (offset + alignment - 1) & ~(alignment - 1);
+  }
+
+  static Chunk MakeChunk(size_t bytes) {
+    if (bytes < 64) {
+      bytes = 64;
+    }
+    // operator new[] guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__; the arena
+    // only serves fundamental alignments.
+    return Chunk{std::make_unique<std::byte[]>(bytes), bytes};
+  }
+
+  void AddChunk(size_t min_bytes) {
+    size_t grown = chunks_.back().size * 2;
+    if (grown < min_bytes) {
+      grown = min_bytes;
+    }
+    chunks_.push_back(MakeChunk(grown));
+    current_ = chunks_.size() - 1;
+    offset_ = 0;
+  }
+
+  std::vector<Chunk> chunks_;
+  size_t current_ = 0;  // index of the chunk being bumped
+  size_t offset_ = 0;   // bytes used in the current chunk
+};
+
+// A push_back-able view over arena memory for trivially copyable elements.
+// Growth allocates a doubled array from the arena and memcpys over; the old
+// array is simply abandoned until the next Reset. No destructors ever run.
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ArenaVector relocates with memcpy");
+
+ public:
+  explicit ArenaVector(Arena* arena) : arena_(arena) {}
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) {
+      Grow();
+    }
+    data_[size_++] = value;
+  }
+
+  void clear() { size_ = 0; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  void Grow() {
+    const size_t grown = capacity_ == 0 ? 16 : capacity_ * 2;
+    T* bigger = arena_->AllocateArray<T>(grown);
+    if (size_ > 0) {
+      std::memcpy(bigger, data_, size_ * sizeof(T));
+    }
+    data_ = bigger;
+    capacity_ = grown;
+  }
+
+  Arena* arena_;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace diablo
+
+#endif  // SRC_SUPPORT_ARENA_H_

@@ -70,7 +70,8 @@ ExecResult Execute(const ExecRequest& request) {
   ExecResult result;
   result.gas_used = limits.intrinsic_gas;
 
-  const int64_t entry = request.program->EntryOf(request.function);
+  const int64_t entry =
+      request.entry >= 0 ? request.entry : request.program->EntryOf(request.function);
   if (entry < 0) {
     result.status = VmStatus::kNoSuchFunction;
     return result;

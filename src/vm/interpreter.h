@@ -45,6 +45,11 @@ struct ExecResult {
 struct ExecRequest {
   const Program* program = nullptr;
   std::string_view function;
+  // Pre-resolved entry offset of `function` (see Program::EntryOf). Callers
+  // that dispatch repeatedly — the cost oracle — resolve the offset once and
+  // set it here; when negative, Execute resolves by name (the convenient
+  // form for tests and one-shot calls).
+  int64_t entry = -1;
   std::span<const int64_t> args;
   uint64_t caller = 0;
   ContractState* state = nullptr;  // may be null for pure calls

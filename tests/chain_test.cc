@@ -44,7 +44,7 @@ TEST(LedgerTest, AppendAndDigest) {
   EXPECT_EQ(ledger.next_height(), 1u);
   Block block;
   block.height = 1;
-  block.txs = {0, 1, 2};
+  block.tx_count = 3;
   ledger.Append(block);
   EXPECT_EQ(ledger.block_count(), 1u);
   EXPECT_EQ(ledger.total_txs(), 3u);
@@ -208,6 +208,175 @@ TEST(MempoolTest, TtlExpiry) {
   EXPECT_EQ(expired, (std::vector<TxId>{0}));
 }
 
+// --- semantics locks for the mempool hot path ------------------------------
+// These pin the admission-control corner cases (victim accounting, zombie
+// skipping, TTL vs Requeue, signer-slot release ordering) so the flat
+// struct-of-arrays implementation is observably identical to the original
+// hash-container one.
+
+TEST(MempoolTest, EvictOnFullVictimEvictedEvenWhenNewcomerFailsSignerCap) {
+  // Eviction happens before the per-signer check: a full pool sheds a victim
+  // for a newcomer that is then itself rejected by its signer cap. The caller
+  // owns dropping both; the pool must report the victim and stay below cap.
+  MempoolConfig config;
+  config.global_cap = 2;
+  config.per_signer_cap = 1;
+  config.evict_on_full = true;
+  Rng rng(5);
+  Mempool pool(config, &rng);
+  EXPECT_EQ(pool.Add(0, /*signer=*/1, 0, 0), AdmitResult::kAdmitted);
+  EXPECT_EQ(pool.Add(1, /*signer=*/2, 0, 0), AdmitResult::kAdmitted);
+  // Signer 1 is at its cap. A full-pool admission for signer 1 evicts its
+  // victim FIRST; whether the newcomer then lands depends on whether the
+  // victim freed signer 1's slot. Either way the victim is out and reported.
+  TxId evicted = kInvalidTx;
+  const AdmitResult result = pool.Add(2, /*signer=*/1, 0, 0, &evicted);
+  EXPECT_NE(evicted, kInvalidTx);
+  EXPECT_EQ(pool.evictions(), 1u);
+  if (evicted == 0) {
+    // Victim shared signer 1: its slot was released, the newcomer fits.
+    EXPECT_EQ(result, AdmitResult::kAdmitted);
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_EQ(pool.rejected(), 0u);
+  } else {
+    // Victim was signer 2's tx: signer 1 stays at cap, the newcomer bounces,
+    // and the pool is left one short of its cap.
+    EXPECT_EQ(result, AdmitResult::kSignerCapReached);
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.rejected(), 1u);
+  }
+}
+
+TEST(MempoolTest, EvictionReleasesVictimSignerSlot) {
+  MempoolConfig config;
+  config.global_cap = 1;
+  config.per_signer_cap = 1;
+  config.evict_on_full = true;
+  Rng rng(3);
+  Mempool pool(config, &rng);
+  EXPECT_EQ(pool.Add(0, /*signer=*/7, 0, 0), AdmitResult::kAdmitted);
+  // Tx 0 (signer 7) is the only candidate victim; its eviction must free
+  // signer 7's slot so tx 2 can use it immediately afterwards.
+  TxId evicted = kInvalidTx;
+  EXPECT_EQ(pool.Add(1, /*signer=*/8, 0, 0, &evicted), AdmitResult::kAdmitted);
+  EXPECT_EQ(evicted, 0u);
+  evicted = kInvalidTx;
+  EXPECT_EQ(pool.Add(2, /*signer=*/7, 0, 0, &evicted), AdmitResult::kAdmitted);
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(MempoolTest, ZombiesSkippedAcrossMultipleTakes) {
+  MempoolConfig config;
+  config.global_cap = 3;
+  config.evict_on_full = true;
+  Rng rng(11);
+  Mempool pool(config, &rng);
+  // Fill, then churn enough admissions that several zombie entries pile up
+  // in the queue ahead of live ones.
+  std::vector<bool> evicted_ids(64, false);
+  for (TxId id = 0; id < 10; ++id) {
+    TxId evicted = kInvalidTx;
+    ASSERT_EQ(pool.Add(id, id, 0, Seconds(1)), AdmitResult::kAdmitted)
+        << "id " << id;
+    (void)evicted;
+  }
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.evictions(), 7u);
+  // Take one at a time: zombies at the queue head are silently popped and
+  // never surface, and the live count stays exact.
+  std::vector<TxId> expired;
+  std::vector<TxId> all_taken;
+  for (int i = 0; i < 3; ++i) {
+    const auto taken = pool.TakeReady(
+        Seconds(2), 0, 0, 1, [](TxId) { return 1; }, [](TxId) { return 110; },
+        &expired);
+    ASSERT_EQ(taken.size(), 1u);
+    all_taken.push_back(taken[0]);
+  }
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_TRUE(expired.empty());
+  EXPECT_TRUE(pool.TakeReady(Seconds(2), 0, 0, 10, [](TxId) { return 1; },
+                             [](TxId) { return 110; }, &expired)
+                  .empty());
+}
+
+TEST(MempoolTest, TtlExpiryRacesRequeue) {
+  MempoolConfig config;
+  config.ttl = Seconds(10);
+  config.per_signer_cap = 1;
+  Mempool pool(config);
+  pool.Add(0, /*signer=*/1, /*ingress=*/Seconds(0), /*ready=*/Seconds(1));
+  std::vector<TxId> expired;
+  const auto taken = pool.TakeReady(Seconds(5), 0, 0, 10, [](TxId) { return 1; },
+                                    [](TxId) { return 110; }, &expired);
+  ASSERT_EQ(taken, (std::vector<TxId>{0}));
+
+  // Leader failure: the tx goes back with its ORIGINAL ingress time, so the
+  // TTL clock keeps running across the requeue.
+  pool.Requeue({0}, {1}, {Seconds(0)}, {Seconds(6)});
+  EXPECT_EQ(pool.size(), 1u);
+  // Signer slot is re-held after requeue.
+  EXPECT_EQ(pool.Add(7, /*signer=*/1, Seconds(6), Seconds(6)),
+            AdmitResult::kSignerCapReached);
+
+  const auto after = pool.TakeReady(Seconds(20), 0, 0, 10, [](TxId) { return 1; },
+                                    [](TxId) { return 110; }, &expired);
+  EXPECT_TRUE(after.empty());
+  EXPECT_EQ(expired, (std::vector<TxId>{0}));
+  EXPECT_EQ(pool.size(), 0u);
+  // Expiry released the signer slot.
+  EXPECT_EQ(pool.Add(8, /*signer=*/1, Seconds(20), Seconds(20)),
+            AdmitResult::kAdmitted);
+}
+
+TEST(MempoolTest, SignerSlotReleaseOrdering) {
+  MempoolConfig config;
+  config.per_signer_cap = 1;
+  config.ttl = Seconds(10);
+  Mempool pool(config);
+  std::vector<TxId> expired;
+  // Take releases the slot.
+  EXPECT_EQ(pool.Add(0, 5, Seconds(0), Seconds(0)), AdmitResult::kAdmitted);
+  EXPECT_EQ(pool.Add(1, 5, Seconds(0), Seconds(0)), AdmitResult::kSignerCapReached);
+  pool.TakeReady(Seconds(1), 0, 0, 10, [](TxId) { return 1; },
+                 [](TxId) { return 110; }, &expired);
+  // TTL expiry releases the slot too.
+  EXPECT_EQ(pool.Add(2, 5, Seconds(1), Seconds(2)), AdmitResult::kAdmitted);
+  const auto taken = pool.TakeReady(Seconds(30), 0, 0, 10, [](TxId) { return 1; },
+                                    [](TxId) { return 110; }, &expired);
+  EXPECT_TRUE(taken.empty());
+  EXPECT_EQ(expired, (std::vector<TxId>{2}));
+  // An over-budget head is treated as expired and must also release its slot.
+  EXPECT_EQ(pool.Add(3, 5, Seconds(30), Seconds(30)), AdmitResult::kAdmitted);
+  expired.clear();
+  pool.TakeReady(Seconds(31), /*gas_budget=*/10, 0, 10,
+                 [](TxId) { return 100; }, [](TxId) { return 110; }, &expired);
+  EXPECT_EQ(expired, (std::vector<TxId>{3}));
+  EXPECT_EQ(pool.Add(4, 5, Seconds(31), Seconds(31)), AdmitResult::kAdmitted);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(MempoolTest, RequeuePreservesReadinessOrder) {
+  Mempool pool(MempoolConfig{});
+  pool.Add(0, 1, Seconds(0), Seconds(1));
+  pool.Add(1, 2, Seconds(0), Seconds(2));
+  std::vector<TxId> expired;
+  auto taken = pool.TakeReady(Seconds(5), 0, 0, 10, [](TxId) { return 1; },
+                              [](TxId) { return 110; }, &expired);
+  ASSERT_EQ(taken.size(), 2u);
+  // Requeue in reverse; readiness times still dictate the pop order.
+  pool.Requeue({1, 0}, {2, 1}, {Seconds(0), Seconds(0)},
+               {Seconds(2), Seconds(1)});
+  EXPECT_EQ(pool.size(), 2u);
+  taken = pool.TakeReady(Seconds(1), 0, 0, 10, [](TxId) { return 1; },
+                         [](TxId) { return 110; }, &expired);
+  EXPECT_EQ(taken, (std::vector<TxId>{0}));
+  taken = pool.TakeReady(Seconds(5), 0, 0, 10, [](TxId) { return 1; },
+                         [](TxId) { return 110; }, &expired);
+  EXPECT_EQ(taken, (std::vector<TxId>{1}));
+}
+
 TEST(VoteRoundTest, ByzantineQuorums) {
   EXPECT_EQ(ByzantineQuorum(4), 3);
   EXPECT_EQ(ByzantineQuorum(7), 5);
@@ -315,9 +484,10 @@ TEST(ChainContextTest, SubmitBuildFinalize) {
 
   // Nothing is ready immediately (gossip latency), everything within 2 s.
   ChainContext::BuiltBlock empty = ctx.BuildBlock(0, 0);
-  EXPECT_TRUE(empty.txs.empty());
+  EXPECT_EQ(empty.tx_count, 0u);
   ChainContext::BuiltBlock full = ctx.BuildBlock(Seconds(2), 0);
-  EXPECT_EQ(full.txs.size(), 3u);
+  EXPECT_EQ(full.tx_count, 3u);
+  EXPECT_EQ(ctx.BlockTxs(full).size(), 3u);
   EXPECT_GT(full.gas, 0);
   EXPECT_GT(full.bytes, kBlockHeaderBytes);
   EXPECT_GT(full.build_time, 0);
@@ -351,8 +521,8 @@ TEST(ChainContextTest, CongestionShrinksBlocks) {
   }
   // Pool of ~1000 vs threshold 10 -> capacity collapses to ~1 tx per block.
   const ChainContext::BuiltBlock block = ctx.BuildBlock(Seconds(5), 0);
-  EXPECT_LE(block.txs.size(), 5u);
-  EXPECT_GE(block.txs.size(), 1u);
+  EXPECT_LE(block.tx_count, 5u);
+  EXPECT_GE(block.tx_count, 1u);
 }
 
 TEST(ChainContextTest, DroppedTxReported) {

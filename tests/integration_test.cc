@@ -124,7 +124,7 @@ TEST(LedgerConsistencyTest, BlocksCarryMonotoneHeightsAndFinality) {
     EXPECT_GE(block.bytes, kBlockHeaderBytes);
     prev_height = block.height;
     prev_final = block.finalized_at;
-    ledger_txs += block.txs.size();
+    ledger_txs += block.tx_count;
   }
   EXPECT_EQ(ledger_txs, ledger.total_txs());
   EXPECT_EQ(ledger_txs, ctx.stats().txs_committed);

@@ -226,6 +226,15 @@ TEST(RunnerStatsTest, JsonRoundTripKeepsOtherBinaries) {
   EXPECT_EQ(fig3->GetNumber("jobs", 0), 4);
   EXPECT_EQ(table1->GetNumber("total_events", 0), 500);
   EXPECT_GT(fig3->GetNumber("events_per_second", -1), 0);
+  // The schema stamp is emitted exactly once, never duplicated by the
+  // keep-other-entries pass.
+  EXPECT_EQ(parsed.value.GetNumber("schema_version", -1), kRunnerStatsSchemaVersion);
+  int stamps = 0;
+  for (const auto& [key, value] : parsed.value.members) {
+    (void)value;
+    stamps += key == "schema_version" ? 1 : 0;
+  }
+  EXPECT_EQ(stamps, 1);
 }
 
 }  // namespace

@@ -134,7 +134,7 @@ TEST(RedBellyTest, SuperblocksUniteManyProposersWork) {
   // Superblocks carry far more than a single leader's mini-block.
   size_t biggest = 0;
   for (size_t i = 0; i < ledger.block_count(); ++i) {
-    biggest = std::max(biggest, ledger.block(i).txs.size());
+    biggest = std::max<size_t>(biggest, ledger.block(i).tx_count);
   }
   EXPECT_GT(biggest, 2000u);
 }

@@ -104,6 +104,34 @@ TEST(AssemblerTest, FunctionNamesAreCallTargets) {
   EXPECT_EQ(RunVm(program, "main").return_value, 42);
 }
 
+TEST(InterpreterTest, PreResolvedEntryMatchesNameDispatch) {
+  const Program program = MustAssemble(R"(
+.func other
+  push 1
+  return
+.func main
+  push 42
+  return
+)");
+  const ExecResult by_name = RunVm(program, "main");
+  ASSERT_EQ(by_name.status, VmStatus::kOk);
+
+  ExecRequest request;
+  request.program = &program;
+  request.function = "main";
+  request.entry = program.EntryOf("main");
+  request.caller = 777;
+  const ExecResult by_entry = Execute(request);
+  EXPECT_EQ(by_entry.status, by_name.status);
+  EXPECT_EQ(by_entry.return_value, by_name.return_value);
+  EXPECT_EQ(by_entry.gas_used, by_name.gas_used);
+
+  // A bogus name with a valid pre-resolved entry must still run: the offset
+  // wins, the name is informational.
+  request.function = "no-such-function";
+  EXPECT_EQ(Execute(request).return_value, by_name.return_value);
+}
+
 TEST(InterpreterTest, Arithmetic) {
   const Program program = MustAssemble(R"(
 .func main
