@@ -1,0 +1,122 @@
+// Fault sweep (beyond the paper's healthy-path evaluation, §7 future
+// work): every consensus family under a leader crash with restart, a
+// minority and a majority partition with heal, and uniform message-loss
+// rates, all driven by declarative fault schedules. Clients retry with
+// exponential backoff, so the resilience metrics separate "the chain
+// stalled" from "the client gave up".
+//
+// Expected shapes: quorum protocols ride out the leader crash and the
+// minority partition (view changes spike, throughput dips, recovery within
+// seconds of the heal); the majority partition stalls them until the heal;
+// proposer-schedule chains skip dead slots and degrade smoothly with loss.
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/chains/params.h"
+#include "src/fault/schedule.h"
+
+namespace diablo {
+namespace {
+
+struct Scenario {
+  std::string name;
+  FaultSchedule faults;
+};
+
+std::vector<Scenario> Scenarios() {
+  std::vector<Scenario> out;
+  // Leader crash: node 0 (the initial leader everywhere) dies at 10 s and
+  // rejoins at 30 s.
+  out.push_back({"leader-crash",
+                 FaultScheduleBuilder().Crash(0, Seconds(10), Seconds(30)).Build()});
+  // Minority partition: 3 of 10 testnet nodes (= f for the BFT chains) cut
+  // off from 10 s to 40 s.
+  out.push_back({"minority-part",
+                 FaultScheduleBuilder()
+                     .Partition({0, 1, 2}, Seconds(10), Seconds(40))
+                     .Build()});
+  // Majority partition: 6 of 10 — no quorum anywhere until the heal.
+  out.push_back({"majority-part",
+                 FaultScheduleBuilder()
+                     .Partition({0, 1, 2, 3, 4, 5}, Seconds(10), Seconds(40))
+                     .Build()});
+  for (const double rate : {0.01, 0.05, 0.10}) {
+    out.push_back({StrFormat("loss-%.0f%%", 100.0 * rate),
+                   FaultScheduleBuilder()
+                       .Loss(rate, Seconds(10), Seconds(40))
+                       .Build()});
+  }
+  return out;
+}
+
+void PrintFaultRow(const std::string& label, const RunResult& result) {
+  if (!result.failure_reason.empty()) {
+    std::printf("%-24s  X  (%s)\n", label.c_str(), result.failure_reason.c_str());
+    return;
+  }
+  const Report& r = result.report;
+  std::string recovery = "    -";
+  if (!r.recoveries.empty()) {
+    recovery = r.recoveries[0] < 0 ? "never"
+                                   : StrFormat("%5.1f", r.recoveries[0]);
+  }
+  std::printf(
+      "%-24s  tput %7.1f TPS  commit %5.1f%%  min-ivl %5.1f%%  views %4llu  "
+      "retries %5llu  ttr %s s\n",
+      label.c_str(), r.avg_throughput, 100.0 * r.commit_ratio,
+      100.0 * r.min_interval_commit_ratio,
+      static_cast<unsigned long long>(r.view_changes),
+      static_cast<unsigned long long>(r.client_retries), recovery.c_str());
+}
+
+void Run() {
+  PrintHeader(
+      "Fault sweep — leader crash, partitions and message loss on testnet\n"
+      "(200 TPS offered for 60 s; clients retry up to 3 times with backoff)");
+  const double scale = ScaleFromEnv();
+
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.timeout = Seconds(2);
+  retry.backoff = Milliseconds(500);
+
+  std::vector<std::string> chains = AllChainNames();
+  chains.push_back("redbelly");
+  const std::vector<Scenario> scenarios = Scenarios();
+
+  ParallelRunner runner;
+  std::vector<ExperimentCell> cells;
+  for (const std::string& chain : chains) {
+    for (const Scenario& scenario : scenarios) {
+      cells.push_back({chain + "+" + scenario.name,
+                       [chain, scenario, retry, scale] {
+                         return RunFaultBenchmark(chain, "testnet", 200, 60,
+                                                  scenario.faults, retry,
+                                                  /*seed=*/1, scale);
+                       }});
+    }
+  }
+  const std::vector<RunResult> results = RunCells(runner, std::move(cells));
+
+  size_t index = 0;
+  for (const std::string& chain : chains) {
+    std::printf("\n-- %s --\n", chain.c_str());
+    for (const Scenario& scenario : scenarios) {
+      PrintFaultRow(scenario.name, results[index]);
+      ++index;
+    }
+  }
+  std::printf(
+      "\nttr = time from the heal/restart instant to the first commit after\n"
+      "it; min-ivl = worst per-submit-second commit ratio (the fault dip).\n");
+  FinishRunnerReport("fig6_faults", runner);
+}
+
+}  // namespace
+}  // namespace diablo
+
+int main() {
+  diablo::Run();
+  return 0;
+}

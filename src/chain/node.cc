@@ -31,8 +31,16 @@ double ChainContext::RecentArrivalRate(SimTime now) const {
   return static_cast<double>(arrivals_per_second_[second - 1]);
 }
 
-bool ChainContext::SubmitAtEndpoint(TxId id, int endpoint, SimTime arrival) {
+bool ChainContext::SubmitAtEndpoint(TxId id, int endpoint, SimTime arrival,
+                                    bool drop_on_reject) {
   Transaction& tx = txs_.at(id);
+  if (NodeDown(endpoint)) {
+    // The request reached a crashed node's address: nobody answers it.
+    if (drop_on_reject) {
+      DropTx(id);
+    }
+    return false;
+  }
   const size_t second = static_cast<size_t>(arrival / kSecond);
   if (second >= arrivals_per_second_.size()) {
     arrivals_per_second_.resize(second + 1, 0);
@@ -57,15 +65,56 @@ bool ChainContext::SubmitAtEndpoint(TxId id, int endpoint, SimTime arrival) {
     DropTx(evicted);
   }
   if (result != AdmitResult::kAdmitted) {
-    DropTx(id);
+    if (drop_on_reject) {
+      DropTx(id);
+    }
     return false;
   }
   tx.phase = TxPhase::kSubmitted;
   return true;
 }
 
+void ChainContext::SetNodeDown(int node, bool down) {
+  if (down_nodes_.empty()) {
+    down_nodes_.assign(static_cast<size_t>(deployment_.node_count), 0);
+  }
+  down_nodes_[static_cast<size_t>(node)] = down ? 1 : 0;
+  net_->SetPartitioned(hosts_[static_cast<size_t>(node)], down);
+}
+
+void ChainContext::SetCpuFactor(int node, double factor) {
+  if (cpu_factors_.empty()) {
+    cpu_factors_.assign(static_cast<size_t>(deployment_.node_count), 1.0);
+  }
+  cpu_factors_[static_cast<size_t>(node)] = factor;
+}
+
+void ChainContext::AbandonBlock(const BuiltBlock& built, SimTime now) {
+  ++stats_.blocks_abandoned;
+  if (built.tx_count == 0) {
+    return;
+  }
+  std::vector<TxId> ids;
+  std::vector<uint32_t> signers;
+  std::vector<SimTime> ingress;
+  std::vector<SimTime> ready;
+  ids.reserve(built.tx_count);
+  signers.reserve(built.tx_count);
+  ingress.reserve(built.tx_count);
+  ready.reserve(built.tx_count);
+  for (const TxId id : BlockTxs(built)) {
+    const Transaction& tx = txs_.at(id);
+    ids.push_back(id);
+    signers.push_back(tx.account);
+    ingress.push_back(tx.submit_time);
+    ready.push_back(now);
+  }
+  mempool_.Requeue(ids, signers, ingress, ready);
+}
+
 ChainContext::BuiltBlock ChainContext::BuildBlock(SimTime now, int proposer) {
-  (void)proposer;  // the shared-pool model makes drafting proposer-agnostic
+  // The shared-pool model makes drafting proposer-agnostic; the proposer
+  // index only matters for straggler injection below.
   BuiltBlock built;
 
   // Congestion model: a growing pending set erodes the usable block
@@ -120,6 +169,13 @@ ChainContext::BuiltBlock ChainContext::BuildBlock(SimTime now, int proposer) {
   // Proposer work: scan of the pending set, block execution, signature
   // verification.
   built.build_time = PoolScanTime() + ExecAndVerifyTime(built.gas, built.tx_count);
+  if (!cpu_factors_.empty()) {
+    const double factor = cpu_factors_[static_cast<size_t>(proposer)];
+    if (factor < 1.0) {
+      built.build_time =
+          static_cast<SimDuration>(static_cast<double>(built.build_time) / factor);
+    }
+  }
   return built;
 }
 

@@ -96,6 +96,9 @@ struct ChainStats {
   uint64_t txs_committed = 0;
   uint64_t txs_dropped = 0;
   uint64_t txs_expired = 0;
+  // Drafted blocks whose round failed (leader crash / lost quorum); their
+  // transactions went back to the pool.
+  uint64_t blocks_abandoned = 0;
 };
 
 class ChainContext {
@@ -136,8 +139,29 @@ class ChainContext {
   // --- submission path (called by the diablo core) -----------------------
   // Handles a transaction arriving at endpoint node `endpoint` at time
   // `arrival`. Applies admission control and schedules gossip readiness.
-  // Returns false when the transaction was rejected.
-  bool SubmitAtEndpoint(TxId id, int endpoint, SimTime arrival);
+  // Returns false when the transaction was rejected — because the endpoint
+  // is down or admission control refused it. With `drop_on_reject` (the
+  // default) a rejection also finalizes the transaction as dropped; clients
+  // running a retry policy pass false and keep the transaction alive for
+  // the next attempt.
+  bool SubmitAtEndpoint(TxId id, int endpoint, SimTime arrival,
+                        bool drop_on_reject = true);
+
+  // --- fault hooks (driven by the FaultInjector) --------------------------
+  // Marks a node crashed / restarted. A down node is partitioned off the
+  // network (in-flight messages to it drop), refuses submissions, and is
+  // skipped as proposer by the consensus engines. Restart models a rejoin
+  // from the ledger head: the shared-pool mempool means the node sees the
+  // network's pending set again immediately, with no replay of what it held
+  // before the crash.
+  void SetNodeDown(int node, bool down);
+  bool NodeDown(int node) const {
+    return !down_nodes_.empty() && down_nodes_[static_cast<size_t>(node)] != 0;
+  }
+
+  // Straggler injection: `factor` in (0, 1] scales the node's CPU speed, so
+  // its proposer-side block preparation takes 1/factor as long.
+  void SetCpuFactor(int node, double factor);
 
   // --- engine helpers -----------------------------------------------------
   // Transaction ids of drafted blocks live in one flat append-only pool on
@@ -171,6 +195,12 @@ class ChainContext {
   void FinalizeBlock(uint64_t height, int proposer, BuiltBlock&& built,
                      SimTime proposed_at, SimTime final_time);
 
+  // Returns a failed round's drafted transactions to the mempool (they were
+  // taken by BuildBlock but the block never committed), preserving signer
+  // accounting; they become takeable again at `now`. Engines call this on
+  // the view-change paths a fault can force.
+  void AbandonBlock(const BuiltBlock& built, SimTime now);
+
   void DropTx(TxId id, VmStatus reason = VmStatus::kOk);
 
   // Submissions seen in the most recent completed one-second window.
@@ -201,6 +231,11 @@ class ChainContext {
   ChainStats stats_;
   ExecutionModel exec_model_;
   std::vector<uint32_t> arrivals_per_second_;
+  // Fault state, sized lazily on first injection: empty vectors mean "no
+  // fault ever configured" and keep the healthy-run hot paths branchless
+  // beyond one emptiness check.
+  std::vector<uint8_t> down_nodes_;
+  std::vector<double> cpu_factors_;
   // Flat pool of every drafted block's transaction ids (see BuiltBlock).
   std::vector<TxId> block_txs_;
   // Per-block scratch (expired batches); reset at the top of BuildBlock.

@@ -83,6 +83,169 @@ bool ParseBehavior(const YamlNode& node, ClientBehavior* behavior, std::string* 
   return true;
 }
 
+// Reads a time field in float seconds. Required fields must be present;
+// optional ones fall back (e.g. `to:` absent = window never closes).
+bool FaultTime(const YamlNode& node, std::string_view key, bool required,
+               SimTime fallback, SimTime* out, std::string* error) {
+  const YamlNode* value = node.Find(key);
+  if (value == nullptr) {
+    if (required) {
+      *error = StrFormat("fault missing '%s'", std::string(key).c_str());
+      return false;
+    }
+    *out = fallback;
+    return true;
+  }
+  double seconds = 0;
+  if (!value->AsDouble(&seconds)) {
+    *error = StrFormat("malformed fault time '%s': %s", std::string(key).c_str(),
+                       value->scalar.c_str());
+    return false;
+  }
+  *out = SecondsF(seconds);
+  return true;
+}
+
+// Resolves a `between: [region-a, region-b]` scope. Absent = all pairs.
+bool FaultPair(const YamlNode& node, bool* scoped, Region* a, Region* b,
+               std::string* error) {
+  const YamlNode* between = node.Find("between");
+  *scoped = false;
+  if (between == nullptr) {
+    return true;
+  }
+  if (!between->IsList() || between->items.size() != 2) {
+    *error = "fault 'between' must list exactly two regions";
+    return false;
+  }
+  if (!ParseRegion(between->items[0].scalar, a) ||
+      !ParseRegion(between->items[1].scalar, b)) {
+    *error = "fault 'between' names an unknown region";
+    return false;
+  }
+  *scoped = true;
+  return true;
+}
+
+// One `- kind: { ... }` entry of the top-level `faults:` list.
+bool ParseFaultEntry(const std::string& kind, const YamlNode& body,
+                     FaultSchedule* schedule, std::string* error) {
+  FaultEvent event;
+  if (kind == "crash") {
+    event.kind = FaultKind::kCrash;
+    int64_t index = -1;
+    const YamlNode* node = body.Find("node");
+    if (node == nullptr || !node->AsInt64(&index)) {
+      *error = "crash fault missing 'node'";
+      return false;
+    }
+    event.node = static_cast<int>(index);
+    if (!FaultTime(body, "at", true, 0, &event.at, error) ||
+        !FaultTime(body, "restart", false, -1, &event.until, error)) {
+      return false;
+    }
+  } else if (kind == "partition") {
+    event.kind = FaultKind::kPartition;
+    const YamlNode* region = body.Find("region");
+    const YamlNode* nodes = body.Find("nodes");
+    if (region != nullptr) {
+      event.by_region = true;
+      if (!ParseRegion(region->scalar, &event.region)) {
+        *error = "partition names an unknown region: " + region->scalar;
+        return false;
+      }
+    } else if (nodes != nullptr && nodes->IsList()) {
+      for (const YamlNode& item : nodes->items) {
+        int64_t index = -1;
+        if (!item.AsInt64(&index)) {
+          *error = "malformed partition node index: " + item.scalar;
+          return false;
+        }
+        event.nodes.push_back(static_cast<int>(index));
+      }
+    } else {
+      *error = "partition fault needs 'nodes' or 'region'";
+      return false;
+    }
+    if (!FaultTime(body, "from", true, 0, &event.at, error) ||
+        !FaultTime(body, "to", false, -1, &event.until, error)) {
+      return false;
+    }
+  } else if (kind == "loss") {
+    event.kind = FaultKind::kLoss;
+    const YamlNode* rate = body.Find("rate");
+    if (rate == nullptr || !rate->AsDouble(&event.loss_rate)) {
+      *error = "loss fault missing 'rate'";
+      return false;
+    }
+    if (!FaultPair(body, &event.region_pair, &event.pair_a, &event.pair_b,
+                   error) ||
+        !FaultTime(body, "from", true, 0, &event.at, error) ||
+        !FaultTime(body, "to", false, -1, &event.until, error)) {
+      return false;
+    }
+  } else if (kind == "delay") {
+    event.kind = FaultKind::kDelaySpike;
+    const YamlNode* extra = body.Find("extra_ms");
+    double extra_ms = 0;
+    if (extra == nullptr || !extra->AsDouble(&extra_ms)) {
+      *error = "delay fault missing 'extra_ms'";
+      return false;
+    }
+    event.extra_delay = SecondsF(extra_ms / 1000.0);
+    if (!FaultPair(body, &event.region_pair, &event.pair_a, &event.pair_b,
+                   error) ||
+        !FaultTime(body, "from", true, 0, &event.at, error) ||
+        !FaultTime(body, "to", false, -1, &event.until, error)) {
+      return false;
+    }
+  } else if (kind == "straggler") {
+    event.kind = FaultKind::kStraggler;
+    int64_t index = -1;
+    const YamlNode* node = body.Find("node");
+    if (node == nullptr || !node->AsInt64(&index)) {
+      *error = "straggler fault missing 'node'";
+      return false;
+    }
+    event.node = static_cast<int>(index);
+    const YamlNode* factor = body.Find("cpu_factor");
+    if (factor == nullptr || !factor->AsDouble(&event.cpu_factor)) {
+      *error = "straggler fault missing 'cpu_factor'";
+      return false;
+    }
+    if (!FaultTime(body, "from", true, 0, &event.at, error) ||
+        !FaultTime(body, "to", false, -1, &event.until, error)) {
+      return false;
+    }
+  } else {
+    *error = "unknown fault kind: " + kind;
+    return false;
+  }
+  schedule->events.push_back(std::move(event));
+  return true;
+}
+
+bool ParseFaults(const YamlNode& faults, FaultSchedule* schedule,
+                 std::string* error) {
+  if (!faults.IsList()) {
+    *error = "'faults' must be a list";
+    return false;
+  }
+  for (const YamlNode& item : faults.items) {
+    if (!item.IsMap() || item.entries.size() != 1) {
+      *error = "each fault must be a single '<kind>: {...}' entry";
+      return false;
+    }
+    if (!ParseFaultEntry(item.entries[0].first, item.entries[0].second, schedule,
+                         error)) {
+      return false;
+    }
+  }
+  // Structural validation now; host indices are re-checked against the real
+  // deployment when the injector installs the schedule.
+  return schedule->Validate(/*node_count=*/-1, error);
+}
+
 }  // namespace
 
 bool ParseFunctionRef(std::string_view text, std::string* name,
@@ -168,6 +331,11 @@ SpecResult ParseWorkloadSpec(std::string_view yaml_text) {
   const YamlNode* workloads = yaml.root.Find("workloads");
   if (workloads == nullptr || !workloads->IsList()) {
     result.error = "missing 'workloads' list";
+    return result;
+  }
+  const YamlNode* faults = yaml.root.Find("faults");
+  if (faults != nullptr &&
+      !ParseFaults(*faults, &result.spec.faults, &result.error)) {
     return result;
   }
   for (const YamlNode& item : workloads->items) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/config/yaml.h"
+#include "src/fault/schedule.h"
 #include "src/workload/trace.h"
 
 namespace diablo {
@@ -38,6 +39,11 @@ struct WorkloadGroup {
 
 struct WorkloadSpec {
   std::vector<WorkloadGroup> groups;
+
+  // Fault schedule from the optional top-level `faults:` list; structurally
+  // validated at parse time (host indices are checked later, against the
+  // actual deployment).
+  FaultSchedule faults;
 
   // Total accounts referenced by any behavior.
   int TotalAccounts() const;

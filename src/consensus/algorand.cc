@@ -29,6 +29,15 @@ void AlgorandEngine::Round() {
           ? std::min<double>(params.committee_expected, static_cast<double>(n))
           : static_cast<double>(n);
 
+  // A crashed sortition winner simply never proposes; the round times out
+  // and the next seed picks a fresh proposer.
+  if (ctx_->NodeDown(proposer)) {
+    ++ctx_->stats().view_changes;
+    ++height_;
+    ctx_->sim()->Schedule(params.step_timeout * 3, [this] { Round(); });
+    return;
+  }
+
   ChainContext::BuiltBlock built = ctx_->BuildBlock(t0, proposer);
   const SimDuration build_time = built.build_time;
 
@@ -74,7 +83,9 @@ void AlgorandEngine::Round() {
 
   const SimDuration round_latency = MedianDelay(cert);
   if (round_latency == kUnreachable) {
-    // No certification this round (committee unlucky / partitioned): retry.
+    // No certification this round (committee unlucky / partitioned): the
+    // proposal's transactions return to the pool and the round retries.
+    ctx_->AbandonBlock(built, t0 + params.step_timeout * 3);
     ++ctx_->stats().view_changes;
     ++height_;
     ctx_->sim()->Schedule(params.step_timeout * 3, [this] { Round(); });

@@ -50,7 +50,8 @@ void AvalancheEngine::ProduceBlock() {
   int proposer = -1;
   for (int attempt = 0; attempt < n; ++attempt) {
     const int candidate = static_cast<int>(rng_.NextBelow(static_cast<uint64_t>(n)));
-    if (ctx_->net()->DelaySample(hosts[static_cast<size_t>(candidate)],
+    if (!ctx_->NodeDown(candidate) &&
+        ctx_->net()->DelaySample(hosts[static_cast<size_t>(candidate)],
                                  hosts[static_cast<size_t>((candidate + 1) % n)],
                                  64) != kUnreachable) {
       proposer = candidate;

@@ -14,10 +14,11 @@ void CliqueEngine::ProduceBlock() {
   const int n = ctx_->node_count();
   const int proposer = static_cast<int>(height_ % static_cast<uint64_t>(n));
 
-  // Clique: when the in-turn signer is unreachable, an out-of-turn signer
-  // seals the block after a wiggle delay instead.
+  // Clique: when the in-turn signer is crashed or unreachable, an
+  // out-of-turn signer seals the block after a wiggle delay instead.
   const auto& all_hosts = ctx_->hosts();
-  if (ctx_->net()->DelaySample(all_hosts[static_cast<size_t>(proposer)],
+  if (ctx_->NodeDown(proposer) ||
+      ctx_->net()->DelaySample(all_hosts[static_cast<size_t>(proposer)],
                                all_hosts[static_cast<size_t>((proposer + 1) % n)],
                                64) == kUnreachable) {
     ++height_;

@@ -52,6 +52,9 @@ void DbftEngine::Round() {
 
   const SimDuration round_latency = MedianDelay(decided);
   if (round_latency == kUnreachable) {
+    // The superblock missed its quorum: every mini-block's transactions
+    // return to the pool for the next round.
+    ctx_->AbandonBlock(built, t0 + params.round_timeout);
     ++ctx_->stats().view_changes;
     ctx_->sim()->Schedule(params.round_timeout, [this] { Round(); });
     return;

@@ -18,6 +18,15 @@ void HotStuffEngine::Round() {
   const size_t quorum = static_cast<size_t>(ByzantineQuorum(n));
   const auto& hosts = ctx_->hosts();
 
+  // A crashed leader triggers the pacemaker directly: no proposal, view
+  // change to the next leader.
+  if (ctx_->NodeDown(leader)) {
+    ++ctx_->stats().view_changes;
+    ++round_;
+    ctx_->sim()->Schedule(params.round_timeout, [this] { Round(); });
+    return;
+  }
+
   // Pacemaker timeout under saturation (Diem's mempool caps keep the
   // pending set bounded, so unlike Quorum this rarely cascades, §6.3).
   const SimDuration pool_scan = ctx_->PoolScanTime();
@@ -47,6 +56,9 @@ void HotStuffEngine::Round() {
   const SimDuration qc_at_next_leader = QuorumArrival(
       ctx_->vote_delays(), received, static_cast<size_t>(next_leader), quorum);
   if (qc_at_next_leader == kUnreachable) {
+    // No quorum certificate: the proposal dies with the view and its
+    // transactions return to the pool.
+    ctx_->AbandonBlock(built, t0 + params.round_timeout);
     ++ctx_->stats().view_changes;
     ++round_;
     ctx_->sim()->Schedule(params.round_timeout, [this] { Round(); });

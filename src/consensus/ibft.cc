@@ -15,15 +15,27 @@ void IbftEngine::Round() {
   const int n = ctx_->node_count();
   const int leader = static_cast<int>((height_ + round_) % static_cast<uint64_t>(n));
 
+  // A crashed leader never even proposes: the round-change timer fires and
+  // the next round picks the next leader in rotation.
+  if (ctx_->NodeDown(leader)) {
+    ++ctx_->stats().view_changes;
+    ++round_;
+    ctx_->sim()->Schedule(params.round_timeout, [this] { Round(); });
+    return;
+  }
+
   // View change when the leader cannot even scan the pending set within the
   // round timeout (saturation by a constantly high workload, §6.3). The
-  // exponential backoff mirrors IBFT's round-change timer doubling.
+  // exponential backoff mirrors IBFT's round-change timer doubling; the
+  // shift saturates rather than overflowing under pathological timeout
+  // configurations.
   const SimDuration pool_scan = ctx_->PoolScanTime();
   if (pool_scan > params.round_timeout) {
     ++ctx_->stats().view_changes;
     ++round_;
     consecutive_failures_ = std::min(consecutive_failures_ + 1, 6);
-    const SimDuration backoff = params.round_timeout << consecutive_failures_;
+    const SimDuration backoff =
+        SaturatingBackoff(params.round_timeout, consecutive_failures_);
     ctx_->sim()->Schedule(backoff, [this] { Round(); });
     return;
   }
@@ -56,6 +68,9 @@ void IbftEngine::Round() {
 
   const SimDuration round_latency = MedianDelay(committed);
   if (round_latency == kUnreachable) {
+    // No commit quorum (partition / crash fault): the drafted transactions
+    // go back to the pool for the next leader.
+    ctx_->AbandonBlock(built, t0 + params.round_timeout);
     ++ctx_->stats().view_changes;
     ++round_;
     ctx_->sim()->Schedule(params.round_timeout, [this] { Round(); });

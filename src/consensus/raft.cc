@@ -16,6 +16,15 @@ void RaftEngine::Round() {
   const size_t majority = static_cast<size_t>(n) / 2 + 1;
   const auto& hosts = ctx_->hosts();
 
+  // A crashed leader stops heartbeating: followers elect the next node
+  // after an election timeout, without a proposal this round.
+  if (ctx_->NodeDown(leader_)) {
+    ++ctx_->stats().view_changes;
+    leader_ = (leader_ + 1) % n;
+    ctx_->sim()->Schedule(params.round_timeout, [this] { Round(); });
+    return;
+  }
+
   ChainContext::BuiltBlock built = ctx_->BuildBlock(t0, leader_);
   const SimDuration build_time = built.build_time;
 
@@ -35,7 +44,8 @@ void RaftEngine::Round() {
                                            static_cast<size_t>(leader_), majority);
   if (commit == kUnreachable) {
     // Leader lost its majority: elect the next node and retry after an
-    // election timeout.
+    // election timeout. The uncommitted entries return to the pool.
+    ctx_->AbandonBlock(built, t0 + params.round_timeout);
     ++ctx_->stats().view_changes;
     leader_ = (leader_ + 1) % n;
     ctx_->sim()->Schedule(params.round_timeout, [this] { Round(); });

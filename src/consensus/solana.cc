@@ -18,8 +18,10 @@ void SolanaEngine::Slot() {
       static_cast<uint64_t>(n));
   const auto& hosts = ctx_->hosts();
 
-  // A partitioned leader simply skips its slots; PoH ticks on regardless.
-  if (ctx_->net()->DelaySample(hosts[static_cast<size_t>(leader)],
+  // A crashed or partitioned leader simply skips its slots; PoH ticks on
+  // regardless.
+  if (ctx_->NodeDown(leader) ||
+      ctx_->net()->DelaySample(hosts[static_cast<size_t>(leader)],
                                hosts[static_cast<size_t>((leader + 1) % n)],
                                64) == kUnreachable) {
     ++ctx_->stats().view_changes;

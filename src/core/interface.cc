@@ -8,11 +8,18 @@ namespace diablo {
 namespace {
 
 // Client bound to a secondary location; submissions travel over the
-// simulated network to the collocated endpoint.
+// simulated network to the collocated endpoint. With a retry policy
+// enabled, failed write submissions rotate endpoints and back off
+// exponentially until the attempt budget runs out.
 class SimClient : public BlockchainClient {
  public:
-  SimClient(ChainInstance* chain, HostId client_host, std::vector<int> endpoints)
-      : chain_(chain), client_host_(client_host), endpoints_(std::move(endpoints)) {}
+  SimClient(ChainInstance* chain, HostId client_host, std::vector<int> endpoints,
+            const RetryPolicy* policy, ClientStats* stats)
+      : chain_(chain),
+        client_host_(client_host),
+        endpoints_(std::move(endpoints)),
+        policy_(policy),
+        stats_(stats) {}
 
   void Trigger(TxId encoded, SimTime submit_time) override {
     ChainContext& ctx = chain_->context();
@@ -28,6 +35,15 @@ class SimClient : public BlockchainClient {
       if (ctx.on_tx_complete) {
         ctx.on_tx_complete(encoded);
       }
+      return;
+    }
+
+    // Writes under a retry policy go through the attempt loop; everything
+    // else (the paper's fire-and-forget clients, and reads, which a client
+    // simply re-issues elsewhere at application level) keeps the one-shot
+    // path below.
+    if (policy_->enabled() && !tx.read_only) {
+      Attempt(encoded, /*attempt=*/0, submit_time);
       return;
     }
 
@@ -63,20 +79,89 @@ class SimClient : public BlockchainClient {
   }
 
  private:
+  // One submission attempt issued at `now`. Endpoints rotate per attempt,
+  // so a client with a multi-node view walks away from a dead node.
+  void Attempt(TxId encoded, int attempt, SimTime now) {
+    ChainContext& ctx = chain_->context();
+    const Transaction& tx = ctx.txs().at(encoded);
+    ++stats_->attempts;
+    if (attempt > 0) {
+      ++stats_->retries;
+    }
+    const int endpoint = endpoints_[next_endpoint_++ % endpoints_.size()];
+    const HostId endpoint_host = ctx.hosts()[static_cast<size_t>(endpoint)];
+    const SimDuration delay =
+        ctx.net()->DelaySample(client_host_, endpoint_host, tx.size_bytes + 128);
+    if (delay == kUnreachable) {
+      // The request vanished (endpoint crashed or partitioned); the client
+      // only learns after its submission timeout.
+      FailAttempt(encoded, attempt, now + policy_->timeout);
+      return;
+    }
+    const SimTime arrival = now + delay;
+    ctx.sim()->ScheduleAt(arrival, [this, encoded, endpoint, attempt, arrival] {
+      ChainContext& c = chain_->context();
+      if (c.SubmitAtEndpoint(encoded, endpoint, arrival, /*drop_on_reject=*/false)) {
+        return;
+      }
+      // Admission rejected (pool full, signer cap) or the node died while
+      // the request was in flight; the rejection reply travels back.
+      const HostId ehost = c.hosts()[static_cast<size_t>(endpoint)];
+      SimDuration back = c.net()->DelaySample(ehost, client_host_, 256);
+      if (back == kUnreachable) {
+        back = policy_->timeout;
+      }
+      FailAttempt(encoded, attempt, arrival + back);
+    });
+  }
+
+  // Books a failed attempt known to the client at `known_at` and either
+  // schedules the next one after backoff or gives up.
+  void FailAttempt(TxId encoded, int attempt, SimTime known_at) {
+    ChainContext& ctx = chain_->context();
+    ++stats_->endpoint_failures;
+    if (attempt + 1 >= policy_->max_attempts) {
+      ++stats_->aborts;
+      ctx.DropTx(encoded);
+      return;
+    }
+    const SimTime next = known_at + policy_->BackoffAfter(attempt);
+    ctx.sim()->ScheduleAt(next, [this, encoded, attempt, next] {
+      Attempt(encoded, attempt + 1, next);
+    });
+  }
+
   ChainInstance* chain_;
   HostId client_host_;
   std::vector<int> endpoints_;
   size_t next_endpoint_ = 0;
+  const RetryPolicy* policy_;
+  ClientStats* stats_;
 };
 
 }  // namespace
+
+SimDuration RetryPolicy::BackoffAfter(int attempt) const {
+  double wait = static_cast<double>(backoff);
+  for (int i = 0; i < attempt; ++i) {
+    wait *= backoff_multiplier;
+    if (wait >= static_cast<double>(max_backoff)) {
+      return max_backoff;
+    }
+  }
+  if (wait >= static_cast<double>(max_backoff)) {
+    return max_backoff;
+  }
+  return static_cast<SimDuration>(wait);
+}
 
 SimConnector::SimConnector(ChainInstance* chain) : chain_(chain) {}
 
 std::unique_ptr<BlockchainClient> SimConnector::CreateClient(
     Region location, std::vector<int> endpoint_view) {
   const HostId host = chain_->context().net()->AddHost(location);
-  return std::make_unique<SimClient>(chain_, host, std::move(endpoint_view));
+  return std::make_unique<SimClient>(chain_, host, std::move(endpoint_view),
+                                     &retry_, &client_stats_);
 }
 
 bool SimConnector::CreateResource(const ResourceSpec& spec, Resource* out) {

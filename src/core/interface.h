@@ -42,6 +42,37 @@ struct InteractionSpec {
   std::vector<int64_t> args;
 };
 
+// Submission timeout + exponential-backoff retry policy for clients. The
+// default (max_attempts = 1) is fire-and-forget: exactly the behaviour the
+// paper's secondaries have, and what every healthy-path benchmark uses. A
+// fault run enables retries so the harness distinguishes "the chain
+// rejected it" from "the client gave up after bounded attempts".
+struct RetryPolicy {
+  int max_attempts = 1;  // 1 = retries disabled
+  // Deadline for one submission RPC; an unreachable endpoint costs this
+  // long before the client moves on.
+  SimDuration timeout = Seconds(5);
+  SimDuration backoff = Milliseconds(500);  // before attempt 2
+  double backoff_multiplier = 2.0;
+  SimDuration max_backoff = Seconds(30);
+
+  bool enabled() const { return max_attempts > 1; }
+
+  // Wait after failed attempt number `attempt` (0-based), exponential with
+  // a ceiling.
+  SimDuration BackoffAfter(int attempt) const;
+};
+
+// Aggregated client-side submission accounting (across all of a
+// connector's clients): how many attempts ran, how many were retries, and
+// how many transactions the clients abandoned after exhausting the policy.
+struct ClientStats {
+  uint64_t attempts = 0;
+  uint64_t retries = 0;
+  uint64_t endpoint_failures = 0;  // timed-out or rejected attempts
+  uint64_t aborts = 0;             // transactions given up on
+};
+
 // c.trigger(e): a client bound to one secondary location submitting encoded
 // interactions to its view of the endpoints.
 class BlockchainClient {
@@ -82,10 +113,19 @@ class SimConnector : public BlockchainConnector {
   TxId Encode(const InteractionSpec& spec, const Resource& accounts,
               SimTime scheduled_time) override;
 
+  // Applies to every client created afterwards; call before CreateClient.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  // Submission accounting summed over all clients of this connector.
+  const ClientStats& client_stats() const { return client_stats_; }
+
  private:
   ChainInstance* chain_;
   uint32_t next_account_ = 0;
   uint64_t encode_counter_ = 0;
+  RetryPolicy retry_;
+  ClientStats client_stats_;
 };
 
 }  // namespace diablo

@@ -9,6 +9,7 @@
 #include "src/core/interface.h"
 #include "src/core/results.h"
 #include "src/core/secondary.h"
+#include "src/fault/injector.h"
 #include "src/support/log.h"
 #include "src/support/strings.h"
 #include "src/workload/arrival.h"
@@ -33,6 +34,11 @@ RunResult Primary::RunDapp(const DappWorkload& dapp) {
 }
 
 RunResult Primary::RunSpec(const WorkloadSpec& spec) {
+  // A `faults:` section in the workload file configures the run unless the
+  // caller already installed a schedule programmatically.
+  if (setup_.faults.empty() && !spec.faults.empty()) {
+    setup_.faults = spec.faults;
+  }
   std::vector<WorkStream> streams;
   std::string workload_name = "spec";
   for (const WorkloadGroup& group : spec.groups) {
@@ -98,7 +104,19 @@ RunResult Primary::RunStreams(std::vector<WorkStream> streams,
   const auto chain = BuildChainFromParams(params, deployment, &sim, &net);
   ChainContext& ctx = chain->context();
   SimConnector connector(chain.get());
+  connector.set_retry_policy(setup_.retry);
   result.report.chain = params.name;
+
+  // The injector lives on the stack for the whole run; Install only
+  // schedules events when the schedule is non-empty.
+  FaultInjector injector(setup_.faults, &ctx);
+  if (!setup_.faults.empty()) {
+    std::string error;
+    if (!injector.Install(&error)) {
+      result.failure_reason = "fault schedule: " + error;
+      return result;
+    }
+  }
 
   // Accounts.
   int account_count = setup_.accounts;
@@ -265,6 +283,14 @@ RunResult Primary::RunStreams(std::vector<WorkStream> streams,
   result.chain_stats = ctx.stats();
   for (const auto& secondary : secondaries) {
     result.behind_schedule += secondary->behind_schedule();
+  }
+  if (!setup_.faults.empty() || setup_.retry.enabled()) {
+    result.report.view_changes = ctx.stats().view_changes;
+    result.report.blocks_abandoned = ctx.stats().blocks_abandoned;
+    result.report.client_retries = connector.client_stats().retries;
+    result.report.client_aborts = connector.client_stats().aborts;
+    AddResilienceMetrics(&result.report, ctx.txs(), horizon,
+                         setup_.faults.HealTimes());
   }
   if (!setup_.results_json_path.empty()) {
     WriteResultsJsonFile(setup_.results_json_path, result.report, ctx.txs());

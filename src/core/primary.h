@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "src/config/spec.h"
+#include "src/core/interface.h"
 #include "src/core/report.h"
+#include "src/fault/schedule.h"
 #include "src/workload/dapps.h"
 
 #include "src/chain/node.h"
@@ -32,6 +34,11 @@ struct BenchmarkSetup {
   // per-transaction records) before returning — the paper's --output flow.
   std::string results_json_path;
   std::string results_csv_path;
+  // Fault schedule executed against the chain during the run. Empty (the
+  // default) keeps every piece of fault machinery inert.
+  FaultSchedule faults;
+  // Client submission retry policy; the default is fire-and-forget.
+  RetryPolicy retry;
 };
 
 struct RunResult {

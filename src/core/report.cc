@@ -73,6 +73,57 @@ Report BuildReport(const TxStore& txs, SimTime horizon, std::string chain,
   return report;
 }
 
+void AddResilienceMetrics(Report* report, const TxStore& txs, SimTime horizon,
+                          const std::vector<SimTime>& heal_times) {
+  report->resilience = true;
+
+  // Per-submit-second commit ratio: how much of each second's offered load
+  // eventually landed. Buckets follow the submit clock, not the commit
+  // clock, so a fault window shows up as a dip even when its transactions
+  // commit late.
+  std::vector<uint64_t> offered;
+  std::vector<uint64_t> landed;
+  std::vector<SimTime> commits;
+  for (TxId id = 0; id < txs.size(); ++id) {
+    const Transaction& tx = txs.at(id);
+    if (tx.phase == TxPhase::kCreated) {
+      continue;
+    }
+    const size_t second = static_cast<size_t>(ToSeconds(tx.submit_time));
+    if (second >= offered.size()) {
+      offered.resize(second + 1, 0);
+      landed.resize(second + 1, 0);
+    }
+    ++offered[second];
+    if (tx.phase == TxPhase::kCommitted && tx.commit_time <= horizon) {
+      ++landed[second];
+      commits.push_back(tx.commit_time);
+    }
+  }
+  report->interval_commit_ratio.clear();
+  report->interval_commit_ratio.reserve(offered.size());
+  report->min_interval_commit_ratio = offered.empty() ? 0.0 : 1.0;
+  for (size_t second = 0; second < offered.size(); ++second) {
+    const double ratio =
+        offered[second] == 0
+            ? 1.0
+            : static_cast<double>(landed[second]) / static_cast<double>(offered[second]);
+    report->interval_commit_ratio.push_back(ratio);
+    report->min_interval_commit_ratio =
+        std::min(report->min_interval_commit_ratio, ratio);
+  }
+
+  // Time-to-recovery: first commit at or after each heal instant.
+  std::sort(commits.begin(), commits.end());
+  report->recoveries.clear();
+  report->recoveries.reserve(heal_times.size());
+  for (const SimTime heal : heal_times) {
+    const auto first = std::lower_bound(commits.begin(), commits.end(), heal);
+    report->recoveries.push_back(first == commits.end() ? -1.0
+                                                        : ToSeconds(*first - heal));
+  }
+}
+
 std::string Report::ToText() const {
   std::string out;
   out += StrFormat("chain:        %s\n", chain.c_str());
@@ -86,6 +137,23 @@ std::string Report::ToText() const {
   out += StrFormat("throughput:   %.1f TPS\n", avg_throughput);
   out += StrFormat("latency avg:  %.2f s  median: %.2f s  p95: %.2f s  max: %.2f s\n",
                    avg_latency, median_latency, p95_latency, max_latency);
+  if (resilience) {
+    out += StrFormat("view changes: %llu  abandoned blocks: %llu\n",
+                     static_cast<unsigned long long>(view_changes),
+                     static_cast<unsigned long long>(blocks_abandoned));
+    out += StrFormat("retries:      %llu  client aborts: %llu\n",
+                     static_cast<unsigned long long>(client_retries),
+                     static_cast<unsigned long long>(client_aborts));
+    out += StrFormat("min interval commit ratio: %.1f%%\n",
+                     100.0 * min_interval_commit_ratio);
+    for (size_t i = 0; i < recoveries.size(); ++i) {
+      if (recoveries[i] < 0) {
+        out += StrFormat("recovery %zu:   never\n", i);
+      } else {
+        out += StrFormat("recovery %zu:   %.2f s\n", i, recoveries[i]);
+      }
+    }
+  }
   return out;
 }
 

@@ -5,6 +5,7 @@
 #define SRC_CORE_REPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "src/chain/tx.h"
 #include "src/support/stats.h"
@@ -35,9 +36,32 @@ struct Report {
   TimeSeries committed_per_second;
   SampleSet latencies;
 
+  // --- Resilience metrics (fault runs only) ---
+  // `resilience` gates their emission in ToText/ReportToJson so healthy-path
+  // outputs stay byte-identical whether or not the fields are populated.
+  bool resilience = false;
+  uint64_t view_changes = 0;      // leader/round changes across all nodes
+  uint64_t blocks_abandoned = 0;  // proposals that missed quorum
+  uint64_t client_retries = 0;    // re-submissions by retrying clients
+  uint64_t client_aborts = 0;     // transactions clients gave up on
+  // Fraction of each submit-second's transactions that eventually committed;
+  // the dip during a fault window is the resilience signature.
+  std::vector<double> interval_commit_ratio;
+  double min_interval_commit_ratio = 1.0;
+  // Time-to-recovery: seconds from each heal/restart instant to the first
+  // commit at or after it; -1 when the chain never recovered in view.
+  std::vector<double> recoveries;
+
   // Multi-line human-readable summary (the primary's --stat output).
   std::string ToText() const;
 };
+
+// Fills the fault-run metrics on `report`: the per-submit-second commit
+// ratio series and, for each instant in `heal_times` (partition heals,
+// crash restarts), the time to the first commit at or after it. Marks the
+// report as a resilience report.
+void AddResilienceMetrics(Report* report, const TxStore& txs, SimTime horizon,
+                          const std::vector<SimTime>& heal_times);
 
 // Builds the report from the transaction arena. Transactions whose commit
 // time falls after `horizon` count as pending — the benchmark stopped

@@ -39,6 +39,23 @@ std::string ReportToJson(const Report& report) {
   out += StrFormat("\"median_latency_s\": %.3f, ", report.median_latency);
   out += StrFormat("\"p95_latency_s\": %.3f, ", report.p95_latency);
   out += StrFormat("\"max_latency_s\": %.3f", report.max_latency);
+  if (report.resilience) {
+    out += StrFormat(", \"view_changes\": %llu",
+                     static_cast<unsigned long long>(report.view_changes));
+    out += StrFormat(", \"blocks_abandoned\": %llu",
+                     static_cast<unsigned long long>(report.blocks_abandoned));
+    out += StrFormat(", \"client_retries\": %llu",
+                     static_cast<unsigned long long>(report.client_retries));
+    out += StrFormat(", \"client_aborts\": %llu",
+                     static_cast<unsigned long long>(report.client_aborts));
+    out += StrFormat(", \"min_interval_commit_ratio\": %.4f",
+                     report.min_interval_commit_ratio);
+    out += ", \"time_to_recovery_s\": [";
+    for (size_t i = 0; i < report.recoveries.size(); ++i) {
+      out += StrFormat("%s%.3f", i == 0 ? "" : ", ", report.recoveries[i]);
+    }
+    out += "]";
+  }
   out += "}";
   return out;
 }

@@ -40,6 +40,20 @@ RunResult RunDappBenchmark(const std::string& chain, const std::string& deployme
   return primary.RunDapp(GetDappWorkload(dapp));
 }
 
+RunResult RunFaultBenchmark(const std::string& chain, const std::string& deployment,
+                            double tps, int seconds, const FaultSchedule& faults,
+                            const RetryPolicy& retry, uint64_t seed, double scale) {
+  BenchmarkSetup setup;
+  setup.chain = chain;
+  setup.deployment = deployment;
+  setup.seed = seed;
+  setup.scale = scale;
+  setup.faults = faults;
+  setup.retry = retry;
+  Primary primary(setup);
+  return primary.RunNative(ConstantTrace(tps, seconds));
+}
+
 double ScaleFromEnv() {
   const char* raw = std::getenv("DIABLO_SCALE");
   if (raw == nullptr) {

@@ -19,6 +19,14 @@ RunResult RunDappBenchmark(const std::string& chain, const std::string& deployme
                            const std::string& dapp, uint64_t seed = 1,
                            double scale = 1.0);
 
+// Constant-rate native transfers under a fault schedule, with client
+// retries. The resilience metrics (per-interval commit ratio, recovery
+// times) land on the returned report.
+RunResult RunFaultBenchmark(const std::string& chain, const std::string& deployment,
+                            double tps, int seconds, const FaultSchedule& faults,
+                            const RetryPolicy& retry, uint64_t seed = 1,
+                            double scale = 1.0);
+
 // Reads DIABLO_SCALE from the environment (default 1.0, clamped to
 // (0, 1]); the bench binaries use it to shrink the heaviest workloads.
 double ScaleFromEnv();

@@ -1,0 +1,116 @@
+#include "src/fault/injector.h"
+
+#include <utility>
+
+namespace diablo {
+
+FaultInjector::FaultInjector(FaultSchedule schedule, ChainContext* ctx)
+    : schedule_(std::move(schedule)), ctx_(ctx) {}
+
+std::vector<int> FaultInjector::PartitionNodes(const FaultEvent& event) const {
+  if (!event.by_region) {
+    return event.nodes;
+  }
+  std::vector<int> nodes;
+  for (int node = 0; node < ctx_->node_count(); ++node) {
+    if (ctx_->deployment().NodeRegion(node) == event.region) {
+      nodes.push_back(node);
+    }
+  }
+  return nodes;
+}
+
+bool FaultInjector::Install(std::string* error) {
+  if (!schedule_.Validate(ctx_->node_count(), error)) {
+    return false;
+  }
+  Simulation* sim = ctx_->sim();
+  Network* net = ctx_->net();
+  for (const FaultEvent& event : schedule_.events) {
+    switch (event.kind) {
+      case FaultKind::kCrash: {
+        const int node = event.node;
+        sim->ScheduleAt(event.at, [this, node] {
+          ctx_->SetNodeDown(node, true);
+          ++stats_.crashes;
+        });
+        if (event.until >= 0) {
+          sim->ScheduleAt(event.until, [this, node] {
+            ctx_->SetNodeDown(node, false);
+            ++stats_.restarts;
+          });
+        }
+        break;
+      }
+      case FaultKind::kPartition: {
+        // Unlike a crash, a partitioned node stays alive behind the cut: it
+        // only becomes unreachable, and rejoins untouched at heal time.
+        const std::vector<int> nodes = PartitionNodes(event);
+        sim->ScheduleAt(event.at, [this, net, nodes] {
+          for (const int node : nodes) {
+            net->SetPartitioned(ctx_->hosts()[static_cast<size_t>(node)], true);
+          }
+          ++stats_.partitions;
+        });
+        if (event.until >= 0) {
+          sim->ScheduleAt(event.until, [this, net, nodes] {
+            for (const int node : nodes) {
+              net->SetPartitioned(ctx_->hosts()[static_cast<size_t>(node)], false);
+            }
+            ++stats_.heals;
+          });
+        }
+        break;
+      }
+      case FaultKind::kLoss:
+        // Loss windows are time-gated inside the network; register now.
+        if (event.region_pair) {
+          net->AddLossWindow(event.pair_a, event.pair_b, event.at, event.until,
+                             event.loss_rate);
+        } else {
+          net->AddLossWindow(event.at, event.until, event.loss_rate);
+        }
+        ++stats_.loss_windows;
+        break;
+      case FaultKind::kDelaySpike: {
+        const auto set_extra = [this, net, event](SimDuration extra) {
+          if (event.region_pair) {
+            net->SetExtraDelay(event.pair_a, event.pair_b, extra);
+            return;
+          }
+          for (int a = 0; a < kRegionCount; ++a) {
+            for (int b = a; b < kRegionCount; ++b) {
+              net->SetExtraDelay(static_cast<Region>(a), static_cast<Region>(b),
+                                 extra);
+            }
+          }
+        };
+        const SimDuration extra = event.extra_delay;
+        sim->ScheduleAt(event.at, [this, set_extra, extra] {
+          set_extra(extra);
+          ++stats_.delay_spikes;
+        });
+        if (event.until >= 0) {
+          sim->ScheduleAt(event.until, [set_extra] { set_extra(0); });
+        }
+        break;
+      }
+      case FaultKind::kStraggler: {
+        const int node = event.node;
+        const double factor = event.cpu_factor;
+        sim->ScheduleAt(event.at, [this, node, factor] {
+          ctx_->SetCpuFactor(node, factor);
+          ++stats_.stragglers;
+        });
+        if (event.until >= 0) {
+          sim->ScheduleAt(event.until,
+                          [this, node] { ctx_->SetCpuFactor(node, 1.0); });
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace diablo

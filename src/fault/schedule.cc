@@ -1,0 +1,271 @@
+#include "src/fault/schedule.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/support/strings.h"
+
+namespace diablo {
+namespace {
+
+constexpr SimTime kForever = std::numeric_limits<SimTime>::max();
+
+SimTime WindowEnd(const FaultEvent& event) {
+  return event.until < 0 ? kForever : event.until;
+}
+
+bool Overlaps(const FaultEvent& a, const FaultEvent& b) {
+  return a.at < WindowEnd(b) && b.at < WindowEnd(a);
+}
+
+// Whether two events of the same kind act on the same scope, i.e. an
+// overlap between them would be ambiguous (node crashed while crashed,
+// two loss rates on one link).
+bool SameScope(const FaultEvent& a, const FaultEvent& b) {
+  switch (a.kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kStraggler:
+      return a.node == b.node;
+    case FaultKind::kPartition: {
+      if (a.by_region || b.by_region) {
+        return a.by_region && b.by_region && a.region == b.region;
+      }
+      for (const int node : a.nodes) {
+        if (std::find(b.nodes.begin(), b.nodes.end(), node) != b.nodes.end()) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case FaultKind::kLoss:
+    case FaultKind::kDelaySpike: {
+      if (a.region_pair != b.region_pair) {
+        // A link-scoped window under an all-links window is still one rate
+        // per cause; allow the combination.
+        return false;
+      }
+      if (!a.region_pair) {
+        return true;  // both cover every link
+      }
+      const auto key = [](const FaultEvent& e) {
+        return std::minmax(e.pair_a, e.pair_b);
+      };
+      return key(a) == key(b);
+    }
+  }
+  return false;
+}
+
+bool EventError(const FaultEvent& event, const std::string& what,
+                std::string* error) {
+  *error = StrFormat("%s fault at t=%.3fs: %s", FaultKindName(event.kind),
+                     ToSeconds(event.at), what.c_str());
+  return false;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kLoss:
+      return "loss";
+    case FaultKind::kDelaySpike:
+      return "delay";
+    case FaultKind::kStraggler:
+      return "straggler";
+  }
+  return "unknown";
+}
+
+bool FaultSchedule::Validate(int node_count, std::string* error) const {
+  for (const FaultEvent& event : events) {
+    if (event.at < 0) {
+      return EventError(event, "negative onset time", error);
+    }
+    if (event.until >= 0 && event.until <= event.at) {
+      return EventError(event, "heal time must be after onset", error);
+    }
+    const auto check_node = [&](int node) {
+      if (node < 0) {
+        return EventError(event, "missing node index", error);
+      }
+      if (node_count >= 0 && node >= node_count) {
+        return EventError(
+            event,
+            StrFormat("unknown host: node %d of a %d-node deployment", node,
+                      node_count),
+            error);
+      }
+      return true;
+    };
+    switch (event.kind) {
+      case FaultKind::kCrash:
+        if (!check_node(event.node)) {
+          return false;
+        }
+        break;
+      case FaultKind::kStraggler:
+        if (!check_node(event.node)) {
+          return false;
+        }
+        if (!(event.cpu_factor > 0.0) || event.cpu_factor > 1.0) {
+          return EventError(event, "cpu_factor must be in (0, 1]", error);
+        }
+        break;
+      case FaultKind::kPartition:
+        if (!event.by_region) {
+          if (event.nodes.empty()) {
+            return EventError(event, "empty node set", error);
+          }
+          for (const int node : event.nodes) {
+            if (!check_node(node)) {
+              return false;
+            }
+          }
+        }
+        break;
+      case FaultKind::kLoss:
+        if (event.loss_rate < 0.0 || event.loss_rate > 1.0) {
+          return EventError(event, "loss rate must be in [0, 1]", error);
+        }
+        break;
+      case FaultKind::kDelaySpike:
+        if (event.extra_delay < 0) {
+          return EventError(event, "negative extra delay", error);
+        }
+        break;
+    }
+  }
+  for (size_t i = 0; i < events.size(); ++i) {
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      const FaultEvent& a = events[i];
+      const FaultEvent& b = events[j];
+      if (a.kind == b.kind && SameScope(a, b) && Overlaps(a, b)) {
+        return EventError(
+            b,
+            StrFormat("overlaps an earlier %s window on the same scope",
+                      FaultKindName(a.kind)),
+            error);
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<SimTime> FaultSchedule::HealTimes() const {
+  std::vector<SimTime> heals;
+  for (const FaultEvent& event : events) {
+    if (event.until >= 0) {
+      heals.push_back(event.until);
+    }
+  }
+  std::sort(heals.begin(), heals.end());
+  return heals;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::Crash(int node, SimTime at,
+                                                  SimTime restart) {
+  FaultEvent event;
+  event.kind = FaultKind::kCrash;
+  event.node = node;
+  event.at = at;
+  event.until = restart;
+  schedule_.events.push_back(std::move(event));
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::Partition(std::vector<int> nodes,
+                                                      SimTime from, SimTime to) {
+  FaultEvent event;
+  event.kind = FaultKind::kPartition;
+  event.nodes = std::move(nodes);
+  event.at = from;
+  event.until = to;
+  schedule_.events.push_back(std::move(event));
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::PartitionRegion(Region region,
+                                                            SimTime from,
+                                                            SimTime to) {
+  FaultEvent event;
+  event.kind = FaultKind::kPartition;
+  event.by_region = true;
+  event.region = region;
+  event.at = from;
+  event.until = to;
+  schedule_.events.push_back(std::move(event));
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::Loss(double rate, SimTime from,
+                                                 SimTime to) {
+  FaultEvent event;
+  event.kind = FaultKind::kLoss;
+  event.loss_rate = rate;
+  event.at = from;
+  event.until = to;
+  schedule_.events.push_back(std::move(event));
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::LossBetween(Region a, Region b,
+                                                        double rate, SimTime from,
+                                                        SimTime to) {
+  FaultEvent event;
+  event.kind = FaultKind::kLoss;
+  event.region_pair = true;
+  event.pair_a = a;
+  event.pair_b = b;
+  event.loss_rate = rate;
+  event.at = from;
+  event.until = to;
+  schedule_.events.push_back(std::move(event));
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::DelaySpike(SimDuration extra,
+                                                       SimTime from, SimTime to) {
+  FaultEvent event;
+  event.kind = FaultKind::kDelaySpike;
+  event.extra_delay = extra;
+  event.at = from;
+  event.until = to;
+  schedule_.events.push_back(std::move(event));
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::DelaySpikeBetween(Region a, Region b,
+                                                              SimDuration extra,
+                                                              SimTime from,
+                                                              SimTime to) {
+  FaultEvent event;
+  event.kind = FaultKind::kDelaySpike;
+  event.region_pair = true;
+  event.pair_a = a;
+  event.pair_b = b;
+  event.extra_delay = extra;
+  event.at = from;
+  event.until = to;
+  schedule_.events.push_back(std::move(event));
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::Straggler(int node, double cpu_factor,
+                                                      SimTime from, SimTime to) {
+  FaultEvent event;
+  event.kind = FaultKind::kStraggler;
+  event.node = node;
+  event.cpu_factor = cpu_factor;
+  event.at = from;
+  event.until = to;
+  schedule_.events.push_back(std::move(event));
+  return *this;
+}
+
+}  // namespace diablo

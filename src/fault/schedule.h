@@ -1,0 +1,99 @@
+// Declarative fault schedules: the set of failures a run injects, as pure
+// data. A schedule is built programmatically (FaultScheduleBuilder) or
+// parsed from the `faults:` section of a workload YAML file, validated
+// once, and then executed by the FaultInjector as ordinary simulation
+// events — so a faulty run is exactly as deterministic as a healthy one.
+//
+// The fault model covers the §6.3-style scenarios: node crashes with
+// optional restart, network partitions (explicit node sets or whole
+// regions) with heal, message-loss and delay-spike windows on the network,
+// and stragglers (a node whose CPU runs at a fraction of its rated speed).
+#ifndef SRC_FAULT_SCHEDULE_H_
+#define SRC_FAULT_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/net/region.h"
+#include "src/support/time.h"
+
+namespace diablo {
+
+enum class FaultKind : uint8_t {
+  kCrash = 0,    // node stops participating; optional restart
+  kPartition,    // a set of nodes (or a region) is cut off, then healed
+  kLoss,         // messages drop with probability `rate` inside the window
+  kDelaySpike,   // extra one-way delay inside the window
+  kStraggler,    // a node's CPU runs at cpu_factor of its rated speed
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  SimTime at = 0;        // fault onset
+  SimTime until = -1;    // restart / heal / window end; -1 = never heals
+  int node = -1;         // crash, straggler
+  std::vector<int> nodes;  // partition by explicit node set
+  bool by_region = false;  // partition scoped to a whole region
+  Region region = Region::kOhio;
+  bool region_pair = false;  // loss/delay scoped to one region pair
+  Region pair_a = Region::kOhio;
+  Region pair_b = Region::kOhio;
+  double loss_rate = 0;        // kLoss: drop probability in [0, 1]
+  SimDuration extra_delay = 0; // kDelaySpike
+  double cpu_factor = 1;       // kStraggler: fraction of rated speed, (0, 1]
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  // Structural validation: well-formed times, rates and factors in range,
+  // no overlapping windows of the same kind on the same scope. When
+  // `node_count` >= 0, node references are also range-checked against the
+  // deployment ("unknown host"). Returns false and fills *error on the
+  // first violation.
+  bool Validate(int node_count, std::string* error) const;
+
+  // Heal instants (restart / partition heal / window end), sorted
+  // ascending: the moments time-to-recovery is measured from.
+  std::vector<SimTime> HealTimes() const;
+};
+
+// Fluent construction for tests and experiment binaries:
+//   FaultSchedule s = FaultScheduleBuilder()
+//       .Crash(0, Seconds(10), Seconds(30))
+//       .Partition({1, 2, 3}, Seconds(10), Seconds(40))
+//       .Loss(0.05, Seconds(10), Seconds(40))
+//       .Build();
+class FaultScheduleBuilder {
+ public:
+  // Crash `node` at `at`; restart < 0 means it never comes back.
+  FaultScheduleBuilder& Crash(int node, SimTime at, SimTime restart = -1);
+  FaultScheduleBuilder& Partition(std::vector<int> nodes, SimTime from,
+                                  SimTime to = -1);
+  FaultScheduleBuilder& PartitionRegion(Region region, SimTime from,
+                                        SimTime to = -1);
+  // Uniform loss on every link.
+  FaultScheduleBuilder& Loss(double rate, SimTime from, SimTime to = -1);
+  FaultScheduleBuilder& LossBetween(Region a, Region b, double rate,
+                                    SimTime from, SimTime to = -1);
+  // Extra one-way delay on every link.
+  FaultScheduleBuilder& DelaySpike(SimDuration extra, SimTime from,
+                                   SimTime to = -1);
+  FaultScheduleBuilder& DelaySpikeBetween(Region a, Region b, SimDuration extra,
+                                          SimTime from, SimTime to = -1);
+  FaultScheduleBuilder& Straggler(int node, double cpu_factor, SimTime from,
+                                  SimTime to = -1);
+
+  FaultSchedule Build() { return std::move(schedule_); }
+
+ private:
+  FaultSchedule schedule_;
+};
+
+}  // namespace diablo
+
+#endif  // SRC_FAULT_SCHEDULE_H_

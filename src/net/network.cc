@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 namespace diablo {
@@ -27,6 +28,9 @@ SimDuration Network::DelaySample(HostId from, HostId to, int64_t bytes) {
   }
   const Region a = regions_[from];
   const Region b = regions_[to];
+  if (!loss_windows_.empty() && LossDrop(a, b)) {
+    return kUnreachable;
+  }
   const LinkParams& link = Topology::Link(a, b);
   const SimDuration prop = link.propagation;
   const SimDuration trans = Topology::TransmissionDelayOn(link, bytes);
@@ -37,8 +41,12 @@ SimDuration Network::DelaySample(HostId from, HostId to, int64_t bytes) {
 }
 
 void Network::Send(HostId from, HostId to, int64_t bytes, EventFn fn) {
+  ++stats_.sends;
   const SimDuration delay = DelaySample(from, to, bytes);
   if (delay == kUnreachable) {
+    // Dropped like a real network would drop it — but counted, so fault
+    // runs can report how much traffic the failure destroyed.
+    ++stats_.unreachable_drops;
     return;
   }
   sim_->Schedule(delay, std::move(fn));
@@ -85,6 +93,12 @@ std::vector<SimDuration> Network::BroadcastDelays(HostId origin,
       const HostId child = recipients[idx];
       const Region pr = regions_[parent.host];
       const Region cr = regions_[child];
+      if (!loss_windows_.empty() && LossDrop(pr, cr)) {
+        // The parent spent the uplink slot but the payload never arrived:
+        // the recipient misses this broadcast entirely (result stays
+        // kUnreachable and it cannot relay further).
+        continue;
+      }
       const LinkParams& link = Topology::Link(pr, cr);
       const SimDuration slot =
           Topology::TransmissionDelayOn(link, bytes) * static_cast<SimDuration>(k + 1);
@@ -110,6 +124,47 @@ void Network::SetExtraDelay(Region a, Region b, SimDuration extra) {
 
 void Network::SetPartitioned(HostId host, bool partitioned) {
   partitioned_[host] = partitioned;
+}
+
+void Network::AddLossWindow(SimTime from, SimTime to, double rate) {
+  LossWindow window;
+  window.from = from;
+  window.to = to < 0 ? std::numeric_limits<SimTime>::max() : to;
+  window.rate = rate;
+  if (loss_windows_.empty()) {
+    // First window: fork the loss stream now. Healthy runs never reach this
+    // point, so their draw sequences are bit-identical with the feature
+    // compiled in.
+    fault_rng_ = rng_.Fork();
+  }
+  loss_windows_.push_back(window);
+}
+
+void Network::AddLossWindow(Region a, Region b, SimTime from, SimTime to,
+                            double rate) {
+  AddLossWindow(from, to, rate);
+  LossWindow& window = loss_windows_.back();
+  window.all_pairs = false;
+  window.a = a;
+  window.b = b;
+}
+
+bool Network::LossDrop(Region a, Region b) {
+  const SimTime now = sim_->Now();
+  for (const LossWindow& window : loss_windows_) {
+    if (now < window.from || now >= window.to) {
+      continue;
+    }
+    if (!window.all_pairs &&
+        !((window.a == a && window.b == b) || (window.a == b && window.b == a))) {
+      continue;
+    }
+    if (fault_rng_.NextBernoulli(window.rate)) {
+      ++stats_.loss_drops;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace diablo

@@ -23,6 +23,15 @@ using HostId = uint32_t;
 // Returned for undeliverable messages (partitioned hosts).
 inline constexpr SimDuration kUnreachable = -1;
 
+// Per-network message accounting, so fault runs are observable: how many
+// point-to-point sends happened, how many were dropped because an endpoint
+// was unreachable, and how many fell to an injected loss window.
+struct NetworkStats {
+  uint64_t sends = 0;              // Send() calls
+  uint64_t unreachable_drops = 0;  // Send() drops: endpoint partitioned/lost
+  uint64_t loss_drops = 0;         // messages dropped by a loss window
+};
+
 class Network {
  public:
   // `jitter_frac` scales a half-normal jitter term added to propagation.
@@ -51,17 +60,42 @@ class Network {
                                            int64_t bytes, int fanout);
 
   // Fault injection: adds a fixed extra delay on one region pair (both
-  // directions), or cuts a host off entirely.
+  // directions — the matrix stays symmetric), or cuts a host off entirely.
   void SetExtraDelay(Region a, Region b, SimDuration extra);
   void SetPartitioned(HostId host, bool partitioned);
+
+  // Message-loss window: inside [from, to) each sampled message drops with
+  // probability `rate`, on every link or (with regions given) on one region
+  // pair in both directions. `to` < 0 keeps the window open to the end of
+  // the run. Loss draws come from a generator forked off this network's
+  // stream on the first window registration, so configuring no window
+  // leaves every other draw sequence — and therefore the healthy-run
+  // results — untouched.
+  void AddLossWindow(SimTime from, SimTime to, double rate);
+  void AddLossWindow(Region a, Region b, SimTime from, SimTime to, double rate);
+
+  const NetworkStats& stats() const { return stats_; }
 
   Simulation* sim() { return sim_; }
 
  private:
+  struct LossWindow {
+    SimTime from = 0;
+    SimTime to = 0;  // exclusive; open windows store SimTime max
+    double rate = 0;
+    bool all_pairs = true;
+    Region a = Region::kOhio;
+    Region b = Region::kOhio;
+  };
+
   SimDuration ExtraDelay(Region a, Region b) const {
     return extra_delays_[static_cast<size_t>(a) * kRegionCount +
                          static_cast<size_t>(b)];
   }
+
+  // True when a message between the two regions drops under an active loss
+  // window at the current simulation time. Draws from fault_rng_.
+  bool LossDrop(Region a, Region b);
 
   Simulation* sim_;
   double jitter_frac_;
@@ -72,6 +106,11 @@ class Network {
   // no fault is active. Dense so the per-message lookup is O(1) instead of a
   // scan over the configured faults.
   std::vector<SimDuration> extra_delays_;
+  std::vector<LossWindow> loss_windows_;
+  // Forked lazily (see AddLossWindow); meaningful only when loss windows
+  // exist.
+  Rng fault_rng_{0};
+  NetworkStats stats_;
 };
 
 }  // namespace diablo

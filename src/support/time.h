@@ -3,6 +3,7 @@
 #ifndef SRC_SUPPORT_TIME_H_
 #define SRC_SUPPORT_TIME_H_
 
+#include <bit>
 #include <cstdint>
 
 namespace diablo {
@@ -31,6 +32,28 @@ constexpr SimDuration SecondsF(double s) {
 
 constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
 constexpr double ToMilliseconds(SimDuration d) { return static_cast<double>(d) / kMillisecond; }
+
+// `base << exponent` with the exponent clamped so the shift is always
+// defined and the result saturates instead of overflowing. The saturation
+// value is kept a quarter of the int64 range so callers can still add it to
+// a current timestamp without wrapping. Used for retry/view-change backoff
+// timers, where a pathological configuration (huge base timeout) must stall
+// the protocol, not corrupt the clock.
+constexpr SimDuration SaturatingBackoff(SimDuration base, int exponent) {
+  constexpr SimDuration kCeiling = INT64_MAX / 4;
+  if (base <= 0) {
+    return 0;
+  }
+  if (exponent <= 0) {
+    return base;
+  }
+  const int base_bits = 64 - std::countl_zero(static_cast<uint64_t>(base));
+  // kCeiling occupies 61 bits; any result needing more saturates.
+  if (base_bits + exponent > 61) {
+    return kCeiling;
+  }
+  return base << exponent;
+}
 
 }  // namespace diablo
 

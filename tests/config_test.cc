@@ -169,6 +169,104 @@ TEST(SpecTest, Errors) {
   EXPECT_FALSE(ParseWorkloadSpec("workloads:\n  - client:\n      behavior:\n").ok);
 }
 
+namespace {
+
+// A minimal valid workload the fault tests can hang a `faults:` section on.
+std::string WithFaults(const std::string& faults) {
+  return "workloads:\n  - client:\n      behavior:\n"
+         "        - interaction: !transfer\n          load:\n"
+         "            0: 100\n            60: 0\n" +
+         faults;
+}
+
+}  // namespace
+
+TEST(SpecFaultsTest, ParsesFullFaultSchedule) {
+  const SpecResult result = ParseWorkloadSpec(WithFaults(R"(faults:
+  - crash: { node: 0, at: 10, restart: 30 }
+  - partition: { nodes: [1, 2, 3], from: 10, to: 40 }
+  - partition: { region: ohio, from: 45, to: 50 }
+  - loss: { rate: 0.05, from: 45, to: 50, between: [ohio, tokyo] }
+  - delay: { extra_ms: 250, from: 50, to: 55 }
+  - straggler: { node: 4, cpu_factor: 0.5, from: 5, to: 20 }
+)"));
+  ASSERT_TRUE(result.ok) << result.error;
+  const FaultSchedule& faults = result.spec.faults;
+  ASSERT_EQ(faults.events.size(), 6u);
+  EXPECT_EQ(faults.events[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(faults.events[0].node, 0);
+  EXPECT_EQ(faults.events[0].at, Seconds(10));
+  EXPECT_EQ(faults.events[0].until, Seconds(30));
+  EXPECT_EQ(faults.events[1].nodes, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(faults.events[2].by_region);
+  EXPECT_EQ(faults.events[2].region, Region::kOhio);
+  EXPECT_DOUBLE_EQ(faults.events[3].loss_rate, 0.05);
+  EXPECT_TRUE(faults.events[3].region_pair);
+  EXPECT_EQ(faults.events[3].pair_b, Region::kTokyo);
+  EXPECT_EQ(faults.events[4].extra_delay, Milliseconds(250));
+  EXPECT_FALSE(faults.events[4].region_pair);
+  EXPECT_DOUBLE_EQ(faults.events[5].cpu_factor, 0.5);
+}
+
+TEST(SpecFaultsTest, NoFaultSectionMeansEmptySchedule) {
+  const SpecResult result = ParseWorkloadSpec(WithFaults(""));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.spec.faults.empty());
+}
+
+TEST(SpecFaultsTest, RejectsMalformedEntries) {
+  // Malformed time.
+  SpecResult result = ParseWorkloadSpec(
+      WithFaults("faults:\n  - crash: { node: 0, at: banana }\n"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("malformed fault time"), std::string::npos)
+      << result.error;
+
+  // Missing required fields.
+  EXPECT_FALSE(
+      ParseWorkloadSpec(WithFaults("faults:\n  - crash: { at: 10 }\n")).ok);
+  EXPECT_FALSE(
+      ParseWorkloadSpec(WithFaults("faults:\n  - loss: { from: 1, to: 2 }\n")).ok);
+
+  // Unknown kind and unknown region.
+  result = ParseWorkloadSpec(
+      WithFaults("faults:\n  - meteor: { node: 0, at: 10 }\n"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unknown fault kind"), std::string::npos)
+      << result.error;
+  result = ParseWorkloadSpec(
+      WithFaults("faults:\n  - partition: { region: atlantis, from: 10 }\n"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unknown region"), std::string::npos)
+      << result.error;
+
+  // `between` must name exactly two regions.
+  EXPECT_FALSE(ParseWorkloadSpec(WithFaults(
+                   "faults:\n  - loss: { rate: 0.1, from: 1, between: [ohio] }\n"))
+                   .ok);
+}
+
+TEST(SpecFaultsTest, RejectsInvalidSchedulesAtParseTime) {
+  // Heal before onset.
+  SpecResult result = ParseWorkloadSpec(
+      WithFaults("faults:\n  - crash: { node: 0, at: 30, restart: 10 }\n"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("heal time"), std::string::npos) << result.error;
+
+  // Overlapping windows on the same scope.
+  result = ParseWorkloadSpec(WithFaults(
+      "faults:\n"
+      "  - crash: { node: 0, at: 10, restart: 30 }\n"
+      "  - crash: { node: 0, at: 20, restart: 40 }\n"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("overlaps"), std::string::npos) << result.error;
+
+  // Out-of-range rate.
+  EXPECT_FALSE(ParseWorkloadSpec(
+                   WithFaults("faults:\n  - loss: { rate: 1.5, from: 1 }\n"))
+                   .ok);
+}
+
 TEST(FunctionRefTest, Parsing) {
   std::string name;
   std::vector<int64_t> args;

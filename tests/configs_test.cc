@@ -46,7 +46,8 @@ INSTANTIATE_TEST_SUITE_P(AllFiles, ShippedConfigTest,
                                            "workload-native-100.yaml",
                                            "workload-contract-10.yaml",
                                            "workload-dota.yaml",
-                                           "workload-uber.yaml"));
+                                           "workload-uber.yaml",
+                                           "workload-faults.yaml"));
 
 TEST(ShippedConfigTest, ArtifactExperimentE1RunsAtBothRates) {
   // E1 (§A.4): the 10 TPS and 100 TPS native workloads produce different
@@ -81,6 +82,30 @@ TEST(ShippedConfigTest, ArtifactExperimentE2BudgetExceeded) {
   const RunResult result = primary.RunSpec(spec.spec);
   EXPECT_EQ(result.failure_reason, "budget exceeded");
   EXPECT_EQ(result.report.committed, 0u);
+}
+
+TEST(ShippedConfigTest, FaultWorkloadRunsEndToEnd) {
+  // The shipped fault scenario parses, adopts its schedule into the run,
+  // and reports resilience metrics for both heal instants.
+  const SpecResult spec =
+      ParseWorkloadSpec(ReadFile(ConfigPath("workload-faults.yaml")));
+  ASSERT_TRUE(spec.ok) << spec.error;
+  ASSERT_EQ(spec.spec.faults.events.size(), 3u);
+  BenchmarkSetup setup;
+  setup.chain = "quorum";
+  setup.deployment = "testnet";
+  setup.retry.max_attempts = 3;
+  setup.retry.timeout = Seconds(1);
+  Primary primary(setup);
+  const RunResult result = primary.RunSpec(spec.spec);
+  ASSERT_TRUE(result.failure_reason.empty()) << result.failure_reason;
+  EXPECT_TRUE(result.report.resilience);
+  EXPECT_GT(result.report.committed, 0u);
+  // crash restart @25, partition heal @45, loss window end @55.
+  ASSERT_EQ(result.report.recoveries.size(), 3u);
+  EXPECT_GE(result.report.recoveries[0], 0.0);
+  EXPECT_GE(result.report.recoveries[1], 0.0);
+  EXPECT_GE(result.report.recoveries[2], 0.0);
 }
 
 TEST(TraceCsvTest, RoundTrip) {

@@ -1,0 +1,361 @@
+// Tests for the fault-injection subsystem: schedule validation, the
+// injector's execution of crash/partition/loss/straggler events, client
+// retries, resilience metrics and determinism of faulty runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/chains/chain_factory.h"
+#include "src/chains/params.h"
+#include "src/core/runner.h"
+#include "src/fault/injector.h"
+#include "src/fault/schedule.h"
+
+namespace diablo {
+namespace {
+
+struct MiniRun {
+  Simulation sim;
+  Network net;
+  std::unique_ptr<ChainInstance> chain;
+
+  MiniRun(const std::string& chain_name, uint64_t seed) : sim(seed), net(&sim) {
+    chain = BuildChain(chain_name, GetDeployment("testnet"), &sim, &net);
+  }
+
+  void Submit(int tps, int seconds) {
+    ChainContext& ctx = chain->context();
+    uint32_t seq = 0;
+    for (int s = 0; s < seconds; ++s) {
+      for (int i = 0; i < tps; ++i) {
+        Transaction tx;
+        tx.account = seq % 100;
+        tx.gas = NativeTransferGas(ctx.params().dialect);
+        tx.size_bytes = kNativeTransferBytes;
+        const SimTime when = Seconds(s) + Milliseconds(1000LL * i / tps);
+        tx.submit_time = when;
+        const TxId id = ctx.txs().Add(tx);
+        const int endpoint = static_cast<int>(seq) % ctx.node_count();
+        sim.ScheduleAt(when, [this, id, endpoint] {
+          chain->context().SubmitAtEndpoint(id, endpoint, sim.Now());
+        });
+        ++seq;
+      }
+    }
+  }
+
+  size_t Committed() {
+    return chain->context().txs().PhaseCounts()[static_cast<size_t>(
+        TxPhase::kCommitted)];
+  }
+};
+
+// --- Schedule validation ---
+
+TEST(FaultScheduleTest, BuilderProducesWellFormedEvents) {
+  const FaultSchedule schedule = FaultScheduleBuilder()
+                                     .Crash(0, Seconds(10), Seconds(30))
+                                     .Partition({1, 2, 3}, Seconds(5), Seconds(40))
+                                     .Loss(0.05, Seconds(50), Seconds(60))
+                                     .Straggler(4, 0.25, Seconds(5), Seconds(10))
+                                     .Build();
+  ASSERT_EQ(schedule.events.size(), 4u);
+  EXPECT_EQ(schedule.events[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(schedule.events[0].node, 0);
+  EXPECT_EQ(schedule.events[0].until, Seconds(30));
+  EXPECT_EQ(schedule.events[1].nodes.size(), 3u);
+  EXPECT_DOUBLE_EQ(schedule.events[2].loss_rate, 0.05);
+  EXPECT_DOUBLE_EQ(schedule.events[3].cpu_factor, 0.25);
+  std::string error;
+  EXPECT_TRUE(schedule.Validate(10, &error)) << error;
+}
+
+TEST(FaultScheduleTest, RejectsMalformedTimes) {
+  std::string error;
+  FaultSchedule negative =
+      FaultScheduleBuilder().Crash(0, Seconds(-1)).Build();
+  EXPECT_FALSE(negative.Validate(10, &error));
+
+  FaultSchedule backwards =
+      FaultScheduleBuilder().Partition({0}, Seconds(20), Seconds(10)).Build();
+  EXPECT_FALSE(backwards.Validate(10, &error));
+  EXPECT_NE(error.find("heal time"), std::string::npos) << error;
+}
+
+TEST(FaultScheduleTest, RejectsUnknownHosts) {
+  std::string error;
+  FaultSchedule schedule = FaultScheduleBuilder().Crash(12, Seconds(1)).Build();
+  EXPECT_FALSE(schedule.Validate(10, &error));
+  EXPECT_NE(error.find("unknown host"), std::string::npos) << error;
+  // Without a deployment bound yet, host indices are not range-checked.
+  EXPECT_TRUE(schedule.Validate(-1, &error)) << error;
+}
+
+TEST(FaultScheduleTest, RejectsOutOfRangeRatesAndFactors) {
+  std::string error;
+  EXPECT_FALSE(
+      FaultScheduleBuilder().Loss(1.5, Seconds(1)).Build().Validate(10, &error));
+  EXPECT_FALSE(
+      FaultScheduleBuilder().Loss(-0.1, Seconds(1)).Build().Validate(10, &error));
+  EXPECT_FALSE(FaultScheduleBuilder()
+                   .Straggler(0, 0.0, Seconds(1))
+                   .Build()
+                   .Validate(10, &error));
+  EXPECT_FALSE(FaultScheduleBuilder()
+                   .Straggler(0, 1.5, Seconds(1))
+                   .Build()
+                   .Validate(10, &error));
+}
+
+TEST(FaultScheduleTest, RejectsOverlappingWindowsOnSameScope) {
+  std::string error;
+  // Two crash windows on the same node, overlapping in time.
+  FaultSchedule same_node = FaultScheduleBuilder()
+                                .Crash(0, Seconds(10), Seconds(30))
+                                .Crash(0, Seconds(20), Seconds(40))
+                                .Build();
+  EXPECT_FALSE(same_node.Validate(10, &error));
+  EXPECT_NE(error.find("overlaps"), std::string::npos) << error;
+
+  // Same windows on different nodes are fine.
+  FaultSchedule different_nodes = FaultScheduleBuilder()
+                                      .Crash(0, Seconds(10), Seconds(30))
+                                      .Crash(1, Seconds(20), Seconds(40))
+                                      .Build();
+  EXPECT_TRUE(different_nodes.Validate(10, &error)) << error;
+
+  // Two all-pair loss windows overlapping; and back-to-back ones are fine.
+  FaultSchedule loss_overlap = FaultScheduleBuilder()
+                                   .Loss(0.1, Seconds(0), Seconds(10))
+                                   .Loss(0.2, Seconds(5), Seconds(15))
+                                   .Build();
+  EXPECT_FALSE(loss_overlap.Validate(10, &error));
+  FaultSchedule loss_sequential = FaultScheduleBuilder()
+                                      .Loss(0.1, Seconds(0), Seconds(10))
+                                      .Loss(0.2, Seconds(10), Seconds(15))
+                                      .Build();
+  EXPECT_TRUE(loss_sequential.Validate(10, &error)) << error;
+}
+
+TEST(FaultScheduleTest, HealTimesAreSortedHealInstants) {
+  const FaultSchedule schedule = FaultScheduleBuilder()
+                                     .Partition({1}, Seconds(10), Seconds(40))
+                                     .Crash(0, Seconds(5), Seconds(15))
+                                     .Loss(0.1, Seconds(0))  // never heals
+                                     .Build();
+  const std::vector<SimTime> heals = schedule.HealTimes();
+  ASSERT_EQ(heals.size(), 2u);
+  EXPECT_EQ(heals[0], Seconds(15));
+  EXPECT_EQ(heals[1], Seconds(40));
+}
+
+// --- Injector execution ---
+
+TEST(FaultInjectorTest, CrashCausesViewChangesThenRecovery) {
+  MiniRun run("quorum", 3);
+  run.Submit(100, 30);
+  FaultInjector injector(
+      FaultScheduleBuilder().Crash(0, Seconds(5), Seconds(15)).Build(),
+      &run.chain->context());
+  std::string error;
+  ASSERT_TRUE(injector.Install(&error)) << error;
+  run.chain->Start();
+  run.sim.RunUntil(Seconds(90));
+  EXPECT_EQ(injector.stats().crashes, 1u);
+  EXPECT_EQ(injector.stats().restarts, 1u);
+  // The dead leader costs round changes, but the rotation keeps committing.
+  EXPECT_GT(run.chain->context().stats().view_changes, 0u);
+  EXPECT_GE(run.Committed(), 2000u);
+}
+
+TEST(FaultInjectorTest, MajorityPartitionStallsUntilHeal) {
+  MiniRun run("quorum", 3);
+  run.Submit(100, 30);
+  FaultInjector injector(FaultScheduleBuilder()
+                             .Partition({0, 1, 2, 3, 4, 5}, Seconds(5), Seconds(20))
+                             .Build(),
+                         &run.chain->context());
+  std::string error;
+  ASSERT_TRUE(injector.Install(&error)) << error;
+  run.chain->Start();
+  run.sim.RunUntil(Seconds(90));
+  EXPECT_EQ(injector.stats().partitions, 1u);
+  EXPECT_EQ(injector.stats().heals, 1u);
+  // No quorum inside the window, full progress after the heal.
+  const TxStore& txs = run.chain->context().txs();
+  size_t inside = 0;
+  size_t after = 0;
+  for (TxId id = 0; id < txs.size(); ++id) {
+    const Transaction& tx = txs.at(id);
+    if (tx.phase != TxPhase::kCommitted) {
+      continue;
+    }
+    if (tx.commit_time > Seconds(6) && tx.commit_time < Seconds(20)) {
+      ++inside;
+    } else if (tx.commit_time >= Seconds(20)) {
+      ++after;
+    }
+  }
+  EXPECT_EQ(inside, 0u);
+  EXPECT_GT(after, 0u);
+}
+
+TEST(FaultInjectorTest, LossWindowRegistersDropsOnTheNetwork) {
+  MiniRun run("quorum", 3);
+  run.Submit(100, 10);
+  FaultInjector injector(
+      FaultScheduleBuilder().Loss(0.3, Seconds(2), Seconds(8)).Build(),
+      &run.chain->context());
+  std::string error;
+  ASSERT_TRUE(injector.Install(&error)) << error;
+  run.chain->Start();
+  run.sim.RunUntil(Seconds(60));
+  EXPECT_EQ(injector.stats().loss_windows, 1u);
+  EXPECT_GT(run.net.stats().loss_drops, 0u);
+  EXPECT_GT(run.Committed(), 0u);
+}
+
+TEST(FaultInjectorTest, StragglerSlowsButDoesNotStopTheChain) {
+  MiniRun run("quorum", 3);
+  run.Submit(100, 10);
+  FaultInjector injector(
+      FaultScheduleBuilder().Straggler(0, 0.2, Seconds(0), Seconds(20)).Build(),
+      &run.chain->context());
+  std::string error;
+  ASSERT_TRUE(injector.Install(&error)) << error;
+  run.chain->Start();
+  run.sim.RunUntil(Seconds(60));
+  EXPECT_EQ(injector.stats().stragglers, 1u);
+  EXPECT_GE(run.Committed(), 800u);
+}
+
+TEST(FaultInjectorTest, InvalidScheduleFailsToInstall) {
+  MiniRun run("quorum", 3);
+  FaultInjector injector(FaultScheduleBuilder().Crash(42, Seconds(1)).Build(),
+                         &run.chain->context());
+  std::string error;
+  EXPECT_FALSE(injector.Install(&error));
+  EXPECT_NE(error.find("unknown host"), std::string::npos) << error;
+}
+
+// --- Full-stack fault runs (primary + clients + resilience metrics) ---
+
+TEST(FaultRunTest, PartitionHealYieldsRecoveryMetrics) {
+  const FaultSchedule faults = FaultScheduleBuilder()
+                                   .Partition({0, 1, 2, 3, 4, 5}, Seconds(10),
+                                              Seconds(30))
+                                   .Build();
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.timeout = Seconds(2);
+  const RunResult result =
+      RunFaultBenchmark("quorum", "testnet", 100, 45, faults, retry, /*seed=*/1);
+  ASSERT_TRUE(result.failure_reason.empty()) << result.failure_reason;
+  const Report& report = result.report;
+  EXPECT_TRUE(report.resilience);
+  // The partition dents some submit-second's commit ratio...
+  EXPECT_LT(report.min_interval_commit_ratio, 1.0);
+  // ...and the chain recovers after the heal.
+  ASSERT_EQ(report.recoveries.size(), 1u);
+  EXPECT_GE(report.recoveries[0], 0.0);
+  EXPECT_LT(report.recoveries[0], 30.0);
+  EXPECT_EQ(report.interval_commit_ratio.size(),
+            report.submitted_per_second.size());
+}
+
+TEST(FaultRunTest, RetriesImproveCommitRatioUnderEndpointCrash) {
+  // Node 0 dies for good. Clients see every node (the spec's ".*" view):
+  // without retries the submissions routed to node 0 are lost; with retries
+  // the next attempt rotates to a live endpoint and commits.
+  const FaultSchedule faults =
+      FaultScheduleBuilder().Crash(0, Seconds(5)).Build();
+  auto run = [&](const RetryPolicy& retry) {
+    BenchmarkSetup setup;
+    setup.chain = "ethereum";
+    setup.deployment = "testnet";
+    setup.seed = 1;
+    setup.faults = faults;
+    setup.retry = retry;
+    Primary primary(setup);
+    WorkStream stream;
+    stream.trace = ConstantTrace(100, 30);
+    stream.endpoints = {".*"};
+    std::vector<WorkStream> streams;
+    streams.push_back(std::move(stream));
+    return primary.RunStreams(std::move(streams), "retry-test");
+  };
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.timeout = Seconds(1);
+  const RunResult without = run(RetryPolicy{});
+  const RunResult with = run(retry);
+  EXPECT_GT(with.report.client_retries, 0u);
+  EXPECT_GT(with.report.commit_ratio, without.report.commit_ratio);
+}
+
+TEST(FaultRunTest, SingleEndpointClientsAbortAfterBoundedAttempts) {
+  // With a one-node view there is nowhere to walk: every retry re-hits the
+  // dead endpoint, so the client aborts after its attempt budget.
+  const FaultSchedule faults =
+      FaultScheduleBuilder().Crash(0, Seconds(5)).Build();
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.timeout = Seconds(1);
+  const RunResult result = RunFaultBenchmark("ethereum", "testnet", 100, 30,
+                                             faults, retry, /*seed=*/1);
+  EXPECT_GT(result.report.client_retries, 0u);
+  EXPECT_GT(result.report.client_aborts, 0u);
+}
+
+TEST(FaultRunTest, InvalidScheduleSurfacesAsFailureReason) {
+  const FaultSchedule faults =
+      FaultScheduleBuilder().Crash(42, Seconds(1)).Build();
+  const RunResult result = RunFaultBenchmark("quorum", "testnet", 50, 10, faults,
+                                             RetryPolicy{}, /*seed=*/1);
+  EXPECT_NE(result.failure_reason.find("unknown host"), std::string::npos)
+      << result.failure_reason;
+}
+
+TEST(FaultRunTest, FaultRunsAreDeterministic) {
+  const FaultSchedule faults = FaultScheduleBuilder()
+                                   .Crash(0, Seconds(5), Seconds(15))
+                                   .Loss(0.05, Seconds(20), Seconds(25))
+                                   .Build();
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  auto run = [&] {
+    return RunFaultBenchmark("quorum", "testnet", 100, 30, faults, retry,
+                             /*seed=*/7);
+  };
+  const RunResult a = run();
+  const RunResult b = run();
+  EXPECT_EQ(a.report.submitted, b.report.submitted);
+  EXPECT_EQ(a.report.committed, b.report.committed);
+  EXPECT_EQ(a.report.dropped, b.report.dropped);
+  EXPECT_EQ(a.report.view_changes, b.report.view_changes);
+  EXPECT_EQ(a.report.client_retries, b.report.client_retries);
+  EXPECT_EQ(a.report.client_aborts, b.report.client_aborts);
+  EXPECT_EQ(a.report.avg_throughput, b.report.avg_throughput);
+  EXPECT_EQ(a.report.avg_latency, b.report.avg_latency);
+  EXPECT_EQ(a.report.recoveries, b.report.recoveries);
+}
+
+TEST(FaultRunTest, EmptyScheduleMatchesHealthyRunExactly) {
+  // The fault machinery must be zero-cost when inactive: a run with an empty
+  // schedule and retries disabled is bit-identical to the plain benchmark.
+  const RunResult healthy =
+      RunNativeBenchmark("quorum", "testnet", 100, 20, /*seed=*/5);
+  const RunResult gated = RunFaultBenchmark("quorum", "testnet", 100, 20,
+                                            FaultSchedule{}, RetryPolicy{},
+                                            /*seed=*/5);
+  EXPECT_EQ(healthy.report.submitted, gated.report.submitted);
+  EXPECT_EQ(healthy.report.committed, gated.report.committed);
+  EXPECT_EQ(healthy.report.avg_throughput, gated.report.avg_throughput);
+  EXPECT_EQ(healthy.report.avg_latency, gated.report.avg_latency);
+  EXPECT_EQ(healthy.report.max_latency, gated.report.max_latency);
+  EXPECT_FALSE(gated.report.resilience);
+}
+
+}  // namespace
+}  // namespace diablo

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/chain/mempool.h"
+#include "src/config/spec.h"
 #include "src/config/yaml.h"
 #include "src/support/rng.h"
 #include "src/vm/assembler.h"
@@ -113,6 +114,41 @@ TEST_P(YamlFuzzTest, StructuredMutationsNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, YamlFuzzTest, ::testing::Values(11, 22, 33));
+
+class FaultSpecFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultSpecFuzzTest, MutatedFaultSectionsNeverCrash) {
+  // Truncations and single-character mutations of a valid `faults:` section
+  // must parse cleanly or produce a diagnostic — never crash or accept
+  // silently-broken schedules (Validate runs at parse time).
+  const std::string base =
+      "workloads:\n  - client:\n      behavior:\n        - interaction: !transfer\n"
+      "          load:\n            0: 10\n            30: 0\n"
+      "faults:\n"
+      "  - crash: { node: 0, at: 10, restart: 30 }\n"
+      "  - partition: { nodes: [1, 2], from: 10, to: 40 }\n"
+      "  - loss: { rate: 0.05, from: 45, to: 50 }\n"
+      "  - straggler: { node: 4, cpu_factor: 0.5, from: 5, to: 20 }\n";
+  ASSERT_TRUE(ParseWorkloadSpec(base).ok) << ParseWorkloadSpec(base).error;
+  Rng rng(GetParam() ^ 0xfa017);
+  for (size_t cut = 0; cut < base.size(); cut += 3) {
+    const SpecResult result = ParseWorkloadSpec(base.substr(0, cut));
+    if (!result.ok) {
+      EXPECT_FALSE(result.error.empty());
+    }
+  }
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = base;
+    mutated[rng.NextBelow(mutated.size())] =
+        static_cast<char>(32 + rng.NextBelow(95));
+    const SpecResult result = ParseWorkloadSpec(mutated);
+    if (!result.ok) {
+      EXPECT_FALSE(result.error.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSpecFuzzTest, ::testing::Values(7, 8, 9));
 
 TEST(MempoolFuzzTest, RandomChurnPreservesInvariants) {
   Rng rng(77);

@@ -152,6 +152,69 @@ TEST(NetworkTest, ExtraDelayInjection) {
   EXPECT_EQ(net.DelaySample(a, b, 10), base + Seconds(2));
 }
 
+TEST(NetworkTest, ExtraDelayAppliesBothDirections) {
+  // Pins the documented contract: one SetExtraDelay call raises the pair in
+  // both directions (the delay matrix stays symmetric).
+  Simulation sim(1);
+  Network net(&sim, /*jitter_frac=*/0.0);
+  const HostId a = net.AddHost(Region::kOhio);
+  const HostId b = net.AddHost(Region::kOregon);
+  const SimDuration forward = net.DelaySample(a, b, 10);
+  const SimDuration reverse = net.DelaySample(b, a, 10);
+  net.SetExtraDelay(Region::kOhio, Region::kOregon, Seconds(1));
+  EXPECT_EQ(net.DelaySample(a, b, 10), forward + Seconds(1));
+  EXPECT_EQ(net.DelaySample(b, a, 10), reverse + Seconds(1));
+}
+
+TEST(NetworkTest, SendStatsCountUnreachableDrops) {
+  Simulation sim(1);
+  Network net(&sim);
+  const HostId a = net.AddHost(Region::kOhio);
+  const HostId b = net.AddHost(Region::kTokyo);
+  net.Send(a, b, 10, [] {});
+  EXPECT_EQ(net.stats().sends, 1u);
+  EXPECT_EQ(net.stats().unreachable_drops, 0u);
+  net.SetPartitioned(b, true);
+  net.Send(a, b, 10, [] {});
+  EXPECT_EQ(net.stats().sends, 2u);
+  EXPECT_EQ(net.stats().unreachable_drops, 1u);
+  sim.Run();
+}
+
+TEST(NetworkTest, LossWindowDropsAndCounts) {
+  Simulation sim(1);
+  Network net(&sim);
+  const HostId a = net.AddHost(Region::kOhio);
+  const HostId b = net.AddHost(Region::kTokyo);
+  // Certain loss until t = 10 s; afterwards the link is clean again.
+  net.AddLossWindow(0, Seconds(10), 1.0);
+  int delivered = 0;
+  for (int i = 0; i < 5; ++i) {
+    net.Send(a, b, 10, [&] { ++delivered; });
+  }
+  bool late_delivered = false;
+  sim.ScheduleAt(Seconds(11), [&] {
+    net.Send(a, b, 10, [&] { late_delivered = true; });
+  });
+  sim.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_TRUE(late_delivered);
+  EXPECT_EQ(net.stats().loss_drops, 5u);
+  EXPECT_EQ(net.stats().unreachable_drops, 5u);
+}
+
+TEST(NetworkTest, RegionPairLossLeavesOtherLinksAlone) {
+  Simulation sim(1);
+  Network net(&sim);
+  const HostId a = net.AddHost(Region::kOhio);
+  const HostId b = net.AddHost(Region::kTokyo);
+  const HostId c = net.AddHost(Region::kOregon);
+  net.AddLossWindow(Region::kOhio, Region::kTokyo, 0, Seconds(10), 1.0);
+  EXPECT_EQ(net.DelaySample(a, b, 10), kUnreachable);
+  EXPECT_EQ(net.DelaySample(b, a, 10), kUnreachable);  // unordered pair
+  EXPECT_NE(net.DelaySample(a, c, 10), kUnreachable);
+}
+
 TEST(NetworkTest, BroadcastReachesEveryone) {
   Simulation sim(7);
   Network net(&sim);

@@ -192,6 +192,46 @@ TEST(DeterminismTest, ParallelResultsInvariantToJobCount) {
   }
 }
 
+TEST(DeterminismTest, FaultCellsInvariantToJobCount) {
+  // Fault-schedule runs (crash + restart, loss window, retries) must be
+  // byte-identical serially and across DIABLO_JOBS, like healthy cells —
+  // the injector draws only from the cell's own deterministic streams.
+  const FaultSchedule faults = FaultScheduleBuilder()
+                                   .Crash(0, Seconds(2), Seconds(5))
+                                   .Loss(0.1, Seconds(6), Seconds(8))
+                                   .Build();
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.timeout = Seconds(1);
+  const std::vector<std::string> chains = {"quorum", "solana"};
+  auto build_cells = [&] {
+    std::vector<ExperimentCell> cells;
+    for (size_t c = 0; c < chains.size(); ++c) {
+      const std::string chain = chains[c];
+      const uint64_t seed = CellSeed(/*base_seed=*/3, c);
+      cells.push_back({chain + "+faults", [chain, seed, faults, retry] {
+                         return RunFaultBenchmark(chain, "testnet", 30, 10,
+                                                  faults, retry, seed);
+                       }});
+    }
+    return cells;
+  };
+
+  std::vector<std::string> serial;
+  for (ExperimentCell& cell : build_cells()) {
+    serial.push_back(Fingerprint(cell.run()));
+  }
+  ParallelRunner four_jobs(4);
+  const std::vector<RunResult> parallel = four_jobs.Run(build_cells());
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(Fingerprint(parallel[i]), serial[i]) << "cell " << i;
+    // The resilience fields ride in the fingerprint's JSON: make sure they
+    // are actually populated rather than trivially equal-and-empty.
+    EXPECT_NE(serial[i].find("time_to_recovery_s"), std::string::npos);
+  }
+}
+
 TEST(RunnerStatsTest, JsonRoundTripKeepsOtherBinaries) {
   const std::string path = ::testing::TempDir() + "/BENCH_runner_test.json";
   RunnerStats first;

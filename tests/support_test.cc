@@ -11,6 +11,25 @@
 namespace diablo {
 namespace {
 
+TEST(TimeTest, SaturatingBackoffDoublesThenSaturates) {
+  constexpr SimDuration kCeiling = INT64_MAX / 4;
+  EXPECT_EQ(SaturatingBackoff(Seconds(1), 0), Seconds(1));
+  EXPECT_EQ(SaturatingBackoff(Seconds(1), 1), Seconds(2));
+  EXPECT_EQ(SaturatingBackoff(Seconds(1), 6), Seconds(64));
+  EXPECT_EQ(SaturatingBackoff(Milliseconds(250), 3), Seconds(2));
+  // Pathological round_timeout configurations must clamp instead of
+  // overflowing: 2e17 ns << 6 would wrap int64.
+  EXPECT_EQ(SaturatingBackoff(Seconds(200'000'000), 6), kCeiling);
+  EXPECT_EQ(SaturatingBackoff(kCeiling, 1), kCeiling);
+  EXPECT_EQ(SaturatingBackoff(INT64_MAX, 62), kCeiling);
+  // Degenerate inputs stay inert.
+  EXPECT_EQ(SaturatingBackoff(0, 5), 0);
+  EXPECT_EQ(SaturatingBackoff(-5, 3), 0);
+  EXPECT_EQ(SaturatingBackoff(Seconds(1), -2), Seconds(1));
+  // The ceiling leaves headroom: now + backoff cannot wrap either.
+  EXPECT_LT(kCeiling + SaturatingBackoff(INT64_MAX, 10), INT64_MAX);
+}
+
 TEST(TimeTest, Conversions) {
   EXPECT_EQ(Seconds(3), 3'000'000'000);
   EXPECT_EQ(Milliseconds(5), 5'000'000);
