@@ -94,22 +94,18 @@ void ChainContext::AbandonBlock(const BuiltBlock& built, SimTime now) {
   if (built.tx_count == 0) {
     return;
   }
-  std::vector<TxId> ids;
-  std::vector<uint32_t> signers;
-  std::vector<SimTime> ingress;
-  std::vector<SimTime> ready;
-  ids.reserve(built.tx_count);
-  signers.reserve(built.tx_count);
-  ingress.reserve(built.tx_count);
-  ready.reserve(built.tx_count);
+  abandon_ids_.clear();
+  abandon_signers_.clear();
+  abandon_ingress_.clear();
+  abandon_ready_.clear();
   for (const TxId id : BlockTxs(built)) {
     const Transaction& tx = txs_.at(id);
-    ids.push_back(id);
-    signers.push_back(tx.account);
-    ingress.push_back(tx.submit_time);
-    ready.push_back(now);
+    abandon_ids_.push_back(id);
+    abandon_signers_.push_back(tx.account);
+    abandon_ingress_.push_back(tx.submit_time);
+    abandon_ready_.push_back(now);
   }
-  mempool_.Requeue(ids, signers, ingress, ready);
+  mempool_.Requeue(abandon_ids_, abandon_signers_, abandon_ingress_, abandon_ready_);
 }
 
 ChainContext::BuiltBlock ChainContext::BuildBlock(SimTime now, int proposer) {

@@ -117,6 +117,10 @@ class ChainContext {
   int node_count() const { return deployment_.node_count; }
   const std::vector<HostId>& hosts() const { return hosts_; }
   const PairwiseDelays& vote_delays() const { return *vote_delays_; }
+  // Shared per-engine message-plane scratch: stage vectors, order-statistic
+  // buffers and broadcast working memory, warm after the first round so
+  // steady-state vote rounds allocate nothing.
+  MessagePlaneScratch* plane() { return &plane_; }
   Rng& rng() { return rng_; }
   CostOracle& oracle() { return oracle_; }
 
@@ -240,6 +244,12 @@ class ChainContext {
   std::vector<TxId> block_txs_;
   // Per-block scratch (expired batches); reset at the top of BuildBlock.
   Arena scratch_arena_;
+  MessagePlaneScratch plane_;
+  // Reusable AbandonBlock staging (cleared per call, warm across rounds).
+  std::vector<TxId> abandon_ids_;
+  std::vector<uint32_t> abandon_signers_;
+  std::vector<SimTime> abandon_ingress_;
+  std::vector<SimTime> abandon_ready_;
 };
 
 // Strategy interface: each consensus protocol schedules its own rounds

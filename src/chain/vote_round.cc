@@ -3,15 +3,198 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/support/profile.h"
+
 namespace diablo {
+namespace {
+
+// Exact selection of the k-th smallest (0-based) of v[0..cnt) by insertion
+// sort; the branch-predictable choice for the short inputs (committees,
+// devnet-sized deployments) where partitioning overhead dominates.
+SimDuration InsertionSelect(SimDuration* v, size_t cnt, size_t k) {
+  for (size_t i = 1; i < cnt; ++i) {
+    const SimDuration x = v[i];
+    size_t j = i;
+    for (; j > 0 && v[j - 1] > x; --j) {
+      v[j] = v[j - 1];
+    }
+    v[j] = x;
+  }
+  return v[k];
+}
+
+// Selection within an already-filtered window: the k-th overall sits kk deep
+// in the w values of [center-span, center+span]. Exact regardless of how the
+// window was produced; also recenters/retunes the hint for the next round.
+SimDuration SelectFromWindow(SimDuration* win, size_t w, size_t kk, SelectionHint& hint) {
+  SimDuration ans;
+  if (w <= 32) {
+    ans = InsertionSelect(win, w, kk);
+  } else {
+    std::nth_element(win, win + static_cast<long>(kk), win + static_cast<long>(w));
+    ans = win[kk];
+  }
+  hint.center = ans;
+  // Proportional control on the window population: (w, span) measures the
+  // local density directly, so steer the next span toward capturing ~20
+  // values — big enough to absorb drift between consecutive selections,
+  // small enough that selection stays in cheap insertion-sort territory.
+  hint.span = hint.span * 20 / static_cast<SimDuration>(w) + 512;
+  return ans;
+}
+
+// nth_element fallback (first round, regime change), reseeding the window
+// from the local spread above the answer so the first carried round already
+// has a tight-but-safe span.
+SimDuration SelectFallback(SimDuration* buf, size_t cnt, size_t k, SelectionHint& hint) {
+  std::nth_element(buf, buf + static_cast<long>(k), buf + static_cast<long>(cnt));
+  const SimDuration ans = buf[k];
+  const size_t hi_i = std::min(k + 12, cnt - 1);
+  if (hi_i > k) {
+    std::nth_element(buf + static_cast<long>(k) + 1, buf + static_cast<long>(hi_i),
+                     buf + static_cast<long>(cnt));
+  }
+  hint.center = ans;
+  hint.span = 2 * (buf[hi_i] - ans) + 1024;
+  hint.valid = true;
+  return ans;
+}
+
+// Exact k-th smallest with a carried value window. nth_element on
+// fresh-per-round data is branch-misprediction bound; consecutive rounds of
+// the same vote stage select from near-identical distributions, so we keep a
+// [center-span, center+span] window around the last answer, copy only the
+// values inside it (a predictable streaming pass), and select within. When
+// the window misses (first round, regime change) we fall back to nth_element
+// and re-derive the window from the freshly partitioned buffer. The returned
+// value is the exact order statistic either way — the hint only decides how
+// much data the selection touches.
+SimDuration WindowSelect(SimDuration* buf, size_t cnt, size_t k, SimDuration* win,
+                         SelectionHint& hint) {
+  if (cnt <= 24) {
+    return InsertionSelect(buf, cnt, k);
+  }
+  if (hint.valid) {
+    const SimDuration lo = hint.center - hint.span;
+    const SimDuration hi = hint.center + hint.span;
+    size_t below = 0;
+    size_t w = 0;
+    for (size_t i = 0; i < cnt; ++i) {
+      const SimDuration v = buf[i];
+      below += v < lo;
+      win[w] = v;
+      w += static_cast<size_t>((v >= lo) & (v <= hi));
+    }
+    if (k >= below && k - below < w) {
+      return SelectFromWindow(win, w, k - below, hint);
+    }
+    hint.valid = false;
+  }
+  return SelectFallback(buf, cnt, k, hint);
+}
+
+// Fills buf with the arrival times of all reachable votes at `receiver` and
+// returns how many there are. The hop_scale multiply runs in integer
+// arithmetic when that is provably bit-exact (integral scale, products below
+// 2^52 so the double rounding the reference formula goes through is the
+// identity); the community/consortium scales (1.0, 4.0) qualify, so the
+// common scans vectorize.
+size_t ScanArrivals(const PairwiseDelays& delays,
+                    const std::vector<SimDuration>& send_times, size_t receiver,
+                    double hop_scale, SimDuration* buf) {
+  const size_t n = send_times.size();
+  const SimDuration* col = delays.column(receiver);
+  const SimDuration* sends = send_times.data();
+  size_t cnt = 0;
+  const double floor_scale = std::floor(hop_scale);
+  const bool integral = hop_scale == floor_scale && hop_scale >= 1.0 && hop_scale < 65536.0;
+  const SimDuration int_scale = integral ? static_cast<SimDuration>(hop_scale) : 1;
+  // Both loops compact branchlessly: every element is computed and written,
+  // the write cursor only advances for reachable pairs. Unreachable lanes
+  // (kUnreachable == -1) produce small garbage values that the next write
+  // overwrites, so there is no overflow hazard and the loops vectorize.
+  if (integral && delays.max_delay() <= (int64_t{1} << 52) / int_scale) {
+    for (size_t j = 0; j < n; ++j) {
+      const SimDuration s = sends[j];
+      const SimDuration hop = col[j];
+      buf[cnt] = s + hop * int_scale;
+      cnt += static_cast<size_t>((s != kUnreachable) & (hop != kUnreachable));
+    }
+    return cnt;
+  }
+  for (size_t j = 0; j < n; ++j) {
+    const SimDuration s = sends[j];
+    const SimDuration hop = col[j];
+    buf[cnt] = s + static_cast<SimDuration>(static_cast<double>(hop) * hop_scale);
+    cnt += static_cast<size_t>((s != kUnreachable) & (hop != kUnreachable));
+  }
+  return cnt;
+}
+
+// Fused scan + window filter for the all-receivers reduction: one lean pass
+// over the senders counts reachable arrivals, counts values below the carried
+// window, and compacts the in-window values into win — without materialising
+// the full arrival set. On a window hit (the steady-state case) that single
+// pass is all the data movement a receiver costs; only a window miss pays a
+// second, plain scan to fill buf for the nth_element fallback.
+struct WindowedScan {
+  size_t cnt = 0;
+  size_t below = 0;
+  size_t w = 0;
+};
+
+WindowedScan ScanArrivalsWindowed(const PairwiseDelays& delays,
+                                  const std::vector<SimDuration>& send_times,
+                                  size_t receiver, double hop_scale, SimDuration* win,
+                                  SimDuration lo, SimDuration hi) {
+  const size_t n = send_times.size();
+  const SimDuration* col = delays.column(receiver);
+  const SimDuration* sends = send_times.data();
+  WindowedScan scan;
+  const double floor_scale = std::floor(hop_scale);
+  const bool integral = hop_scale == floor_scale && hop_scale >= 1.0 && hop_scale < 65536.0;
+  const SimDuration int_scale = integral ? static_cast<SimDuration>(hop_scale) : 1;
+  if (integral && delays.max_delay() <= (int64_t{1} << 52) / int_scale) {
+    for (size_t j = 0; j < n; ++j) {
+      const SimDuration s = sends[j];
+      const SimDuration hop = col[j];
+      const SimDuration v = s + hop * int_scale;
+      const size_t keep =
+          static_cast<size_t>((s != kUnreachable) & (hop != kUnreachable));
+      scan.cnt += keep;
+      scan.below += keep & static_cast<size_t>(v < lo);
+      win[scan.w] = v;
+      scan.w += keep & static_cast<size_t>((v >= lo) & (v <= hi));
+    }
+    return scan;
+  }
+  for (size_t j = 0; j < n; ++j) {
+    const SimDuration s = sends[j];
+    const SimDuration hop = col[j];
+    const SimDuration v = s + static_cast<SimDuration>(static_cast<double>(hop) * hop_scale);
+    const size_t keep = static_cast<size_t>((s != kUnreachable) & (hop != kUnreachable));
+    scan.cnt += keep;
+    scan.below += keep & static_cast<size_t>(v < lo);
+    win[scan.w] = v;
+    scan.w += keep & static_cast<size_t>((v >= lo) & (v <= hi));
+  }
+  return scan;
+}
+
+}  // namespace
 
 PairwiseDelays::PairwiseDelays(Network* net, const std::vector<HostId>& hosts,
                                int64_t message_bytes)
-    : n_(hosts.size()), delays_(n_ * n_, 0) {
+    : n_(hosts.size()) {
+  net->FillPairwiseDelays(hosts, message_bytes, &delays_);
+  by_receiver_.resize(n_ * n_);
   for (size_t i = 0; i < n_; ++i) {
     for (size_t j = 0; j < n_; ++j) {
-      delays_[i * n_ + j] =
-          i == j ? 0 : net->DelaySample(hosts[i], hosts[j], message_bytes);
+      const SimDuration d = delays_[i * n_ + j];
+      by_receiver_[j * n_ + i] = d;
+      if (d != kUnreachable && d > max_delay_) {
+        max_delay_ = d;
+      }
     }
   }
 }
@@ -19,35 +202,102 @@ PairwiseDelays::PairwiseDelays(Network* net, const std::vector<HostId>& hosts,
 SimDuration QuorumArrival(const PairwiseDelays& delays,
                           const std::vector<SimDuration>& send_times, size_t receiver,
                           size_t quorum, double hop_scale) {
-  std::vector<SimDuration> arrivals;
-  arrivals.reserve(send_times.size());
-  for (size_t j = 0; j < send_times.size(); ++j) {
-    if (send_times[j] == kUnreachable) {
-      continue;
-    }
-    const SimDuration hop = delays.at(j, receiver);
-    if (hop == kUnreachable) {
-      continue;
-    }
-    arrivals.push_back(send_times[j] +
-                       static_cast<SimDuration>(static_cast<double>(hop) * hop_scale));
-  }
-  if (arrivals.size() < quorum || quorum == 0) {
+  MessagePlaneScratch scratch;
+  return QuorumArrivalInto(delays, send_times, receiver, quorum, hop_scale, &scratch);
+}
+
+SimDuration QuorumArrivalInto(const PairwiseDelays& delays,
+                              const std::vector<SimDuration>& send_times,
+                              size_t receiver, size_t quorum, double hop_scale,
+                              MessagePlaneScratch* scratch, int hint_slot) {
+  if (quorum == 0) {
     return kUnreachable;
   }
-  std::nth_element(arrivals.begin(), arrivals.begin() + static_cast<long>(quorum - 1),
-                   arrivals.end());
-  return arrivals[quorum - 1];
+  const size_t n = send_times.size();
+  scratch->buf.resize(n);
+  scratch->win.resize(n);
+  const size_t cnt = ScanArrivals(delays, send_times, receiver, hop_scale,
+                                  scratch->buf.data());
+  if (cnt < quorum) {
+    return kUnreachable;
+  }
+  return WindowSelect(scratch->buf.data(), cnt, quorum - 1, scratch->win.data(),
+                      scratch->quorum_hint[hint_slot]);
 }
 
 std::vector<SimDuration> QuorumArrivalAll(const PairwiseDelays& delays,
                                           const std::vector<SimDuration>& send_times,
                                           size_t quorum, double hop_scale) {
-  std::vector<SimDuration> result(send_times.size(), kUnreachable);
-  for (size_t i = 0; i < send_times.size(); ++i) {
-    result[i] = QuorumArrival(delays, send_times, i, quorum, hop_scale);
-  }
+  MessagePlaneScratch scratch;
+  std::vector<SimDuration> result;
+  QuorumArrivalAllInto(delays, send_times, quorum, hop_scale, &scratch, &result);
   return result;
+}
+
+void QuorumArrivalAllInto(const PairwiseDelays& delays,
+                          const std::vector<SimDuration>& send_times, size_t quorum,
+                          double hop_scale, MessagePlaneScratch* scratch,
+                          std::vector<SimDuration>* result, int hint_slot) {
+  const size_t n = send_times.size();
+  result->assign(n, kUnreachable);
+  profile::CountVoteRound();
+  if (quorum == 0) {
+    return;
+  }
+  scratch->buf.resize(n);
+  scratch->win.resize(n);
+  SelectionHint& hint = scratch->quorum_hint[hint_slot];
+  SimDuration* buf = scratch->buf.data();
+  SimDuration* win = scratch->win.data();
+  SimDuration* out = result->data();
+  const size_t k = quorum - 1;
+  for (size_t receiver = 0; receiver < n; ++receiver) {
+    if (!hint.valid) {
+      const size_t cnt = ScanArrivals(delays, send_times, receiver, hop_scale, buf);
+      if (cnt < quorum) {
+        continue;
+      }
+      out[receiver] = WindowSelect(buf, cnt, k, win, hint);
+      continue;
+    }
+    WindowedScan scan = ScanArrivalsWindowed(
+        delays, send_times, receiver, hop_scale, win,
+        hint.center - hint.span, hint.center + hint.span);
+    if (scan.cnt < quorum) {
+      continue;
+    }
+    if (scan.cnt > 24) {
+      SimDuration span_cap = 0;
+      if (k < scan.below || k - scan.below >= scan.w) {
+        // Window missed the target rank: widen once and rescan. A second
+        // lean pass is far cheaper than materialising the full arrival set
+        // for the nth_element fallback, and the widened window nearly always
+        // recaptures the rank since the distribution drifts slowly. The
+        // widening is transient — the span is capped back after selection so
+        // one outlier does not inflate every later window.
+        span_cap = hint.span * 2 + 1024;
+        hint.span = hint.span * 4 + 4096;
+        scan = ScanArrivalsWindowed(delays, send_times, receiver, hop_scale, win,
+                                    hint.center - hint.span, hint.center + hint.span);
+      }
+      if (k >= scan.below && k - scan.below < scan.w) {
+        out[receiver] = SelectFromWindow(win, scan.w, k - scan.below, hint);
+        if (span_cap != 0 && hint.span > span_cap) {
+          hint.span = span_cap;
+        }
+        continue;
+      }
+    }
+    // Window miss (or tiny arrival set): pay a second scan to materialise the
+    // full arrival set, then select exactly as the cold path would.
+    const size_t cnt = ScanArrivals(delays, send_times, receiver, hop_scale, buf);
+    if (cnt <= 24) {
+      out[receiver] = InsertionSelect(buf, cnt, k);
+      continue;
+    }
+    hint.valid = false;
+    out[receiver] = SelectFallback(buf, cnt, k, hint);
+  }
 }
 
 double GossipHopScale(int n) {
@@ -63,20 +313,25 @@ int ByzantineQuorum(int n) {
 }
 
 SimDuration MedianDelay(const std::vector<SimDuration>& delays) {
-  std::vector<SimDuration> reachable;
-  reachable.reserve(delays.size());
+  MessagePlaneScratch scratch;
+  return MedianDelayInto(delays, &scratch);
+}
+
+SimDuration MedianDelayInto(const std::vector<SimDuration>& delays,
+                            MessagePlaneScratch* scratch) {
+  const size_t n = delays.size();
+  scratch->buf.resize(n);
+  scratch->win.resize(n);
+  SimDuration* buf = scratch->buf.data();
+  size_t cnt = 0;
   for (const SimDuration d : delays) {
-    if (d != kUnreachable) {
-      reachable.push_back(d);
-    }
+    buf[cnt] = d;
+    cnt += static_cast<size_t>(d != kUnreachable);
   }
-  if (reachable.empty()) {
+  if (cnt == 0) {
     return kUnreachable;
   }
-  const size_t mid = reachable.size() / 2;
-  std::nth_element(reachable.begin(), reachable.begin() + static_cast<long>(mid),
-                   reachable.end());
-  return reachable[mid];
+  return WindowSelect(buf, cnt, cnt / 2, scratch->win.data(), scratch->median_hint);
 }
 
 }  // namespace diablo

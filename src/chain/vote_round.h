@@ -6,6 +6,14 @@
 // precomputed once and each round is reduced to order statistics: "when has
 // node i received votes from a quorum of nodes, given when each node
 // started voting?".
+//
+// The reduction itself is the hot loop of every consensus engine, so it runs
+// over caller-owned scratch (MessagePlaneScratch) instead of allocating per
+// receiver: steady-state vote rounds perform zero heap allocations. The
+// selection step is exact — a k-th order statistic is a value, not an
+// algorithm — so the adaptive-window selector below produces bit-identical
+// results to a plain sort-and-index while skipping most of the partitioning
+// work on the (highly similar) rounds that follow one another.
 #ifndef SRC_CHAIN_VOTE_ROUND_H_
 #define SRC_CHAIN_VOTE_ROUND_H_
 
@@ -17,7 +25,10 @@
 namespace diablo {
 
 // One-way delays for fixed-size messages between every pair of hosts,
-// sampled once at construction (jitter baked in).
+// sampled once at construction (jitter baked in). Kept in both row-major
+// (sender-major, `at`) and column-major (receiver-major, `column`) layouts:
+// the quorum reduction reads all senders for one receiver, which is a strided
+// walk in the row-major matrix but contiguous in the transpose.
 class PairwiseDelays {
  public:
   PairwiseDelays(Network* net, const std::vector<HostId>& hosts, int64_t message_bytes);
@@ -25,9 +36,47 @@ class PairwiseDelays {
   SimDuration at(size_t from, size_t to) const { return delays_[from * n_ + to]; }
   size_t size() const { return n_; }
 
+  // All senders' delays into `to`, contiguous. column(to)[from] == at(from, to).
+  const SimDuration* column(size_t to) const { return &by_receiver_[to * n_]; }
+  // Largest reachable entry; gates the integer hop-scale fast path.
+  SimDuration max_delay() const { return max_delay_; }
+
  private:
   size_t n_;
   std::vector<SimDuration> delays_;
+  std::vector<SimDuration> by_receiver_;
+  SimDuration max_delay_ = 0;
+};
+
+// Carry-over state for the adaptive-window selector. Purely an accelerator:
+// whatever the hint holds, the selected value is exact, so this state never
+// influences simulation output — only how fast it is produced.
+struct SelectionHint {
+  SimDuration center = 0;
+  SimDuration span = 0;
+  bool valid = false;
+};
+
+// Reusable working memory for one engine's message plane: order-statistic
+// buffers, per-round stage vectors, and broadcast scratch. Allocated once per
+// ChainContext and warm after the first round.
+struct MessagePlaneScratch {
+  // Selection working buffers (sized to the validator count on first use).
+  std::vector<SimDuration> buf;
+  std::vector<SimDuration> win;
+  // One hint per vote stage: the two QuorumArrivalAll stages of a
+  // PBFT-style round see different delay distributions, so they track
+  // separate windows. The median has its own.
+  SelectionHint quorum_hint[2];
+  SelectionHint median_hint;
+  // Per-round vectors the engines refill each round.
+  std::vector<SimDuration> stage_a;
+  std::vector<SimDuration> stage_b;
+  std::vector<SimDuration> stage_c;
+  std::vector<SimDuration> senders;
+  std::vector<SimDuration> round_trips;
+  std::vector<uint32_t> committee;
+  BroadcastScratch broadcast;
 };
 
 // Time at which `receiver` holds votes from `quorum` distinct senders, when
@@ -46,6 +95,19 @@ std::vector<SimDuration> QuorumArrivalAll(const PairwiseDelays& delays,
                                           const std::vector<SimDuration>& send_times,
                                           size_t quorum, double hop_scale = 1.0);
 
+// Allocation-free forms over caller scratch; results are bit-identical to the
+// allocating versions. `hint_slot` (0 or 1) picks which carried selection
+// window to use — engines pass 0 for their first vote stage and 1 for the
+// second.
+SimDuration QuorumArrivalInto(const PairwiseDelays& delays,
+                              const std::vector<SimDuration>& send_times,
+                              size_t receiver, size_t quorum, double hop_scale,
+                              MessagePlaneScratch* scratch, int hint_slot = 0);
+void QuorumArrivalAllInto(const PairwiseDelays& delays,
+                          const std::vector<SimDuration>& send_times, size_t quorum,
+                          double hop_scale, MessagePlaneScratch* scratch,
+                          std::vector<SimDuration>* result, int hint_slot = 0);
+
 // Expected relay hops for flooding a vote through a p2p mesh of n nodes
 // with ~25 direct peers: 1 + log2(n / 25), at least 1.
 double GossipHopScale(int n);
@@ -57,6 +119,10 @@ int ByzantineQuorum(int n);
 // Median of a delay vector, ignoring kUnreachable entries; kUnreachable when
 // every entry is unreachable.
 SimDuration MedianDelay(const std::vector<SimDuration>& delays);
+
+// Allocation-free MedianDelay over caller scratch; bit-identical result.
+SimDuration MedianDelayInto(const std::vector<SimDuration>& delays,
+                            MessagePlaneScratch* scratch);
 
 }  // namespace diablo
 

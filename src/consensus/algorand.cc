@@ -43,18 +43,23 @@ void AlgorandEngine::Round() {
 
   // Proposal dissemination by gossip; nodes wait out the proposal step
   // timeout before soft-voting (the λ parameter of BA*).
-  const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
-      hosts[static_cast<size_t>(proposer)], hosts, built.bytes, params.gossip_fanout);
+  MessagePlaneScratch* plane = ctx_->plane();
+  std::vector<SimDuration>& bcast = plane->stage_a;
+  ctx_->net()->BroadcastDelaysInto(hosts[static_cast<size_t>(proposer)], hosts,
+                                   built.bytes, params.gossip_fanout,
+                                   &plane->broadcast, &bcast);
   const SimDuration verify = ctx_->ExecAndVerifyTime(built.gas, built.tx_count);
 
-  auto vote_step = [&](uint64_t step, const std::vector<SimDuration>& start_times) {
-    const std::vector<uint32_t> committee =
-        SelectCommittee(seed_, height_, step, n, expected);
+  auto vote_step = [&](uint64_t step, const std::vector<SimDuration>& start_times,
+                       std::vector<SimDuration>* voted, int hint_slot) {
+    std::vector<uint32_t>& committee = plane->committee;
+    SelectCommitteeInto(seed_, height_, step, n, expected, &committee);
     // BA* step timers are sequential: the soft vote fires after one λ, the
     // certify vote after two.
     const SimDuration step_floor =
         params.step_timeout * static_cast<SimDuration>(step);
-    std::vector<SimDuration> senders(n, kUnreachable);
+    std::vector<SimDuration>& senders = plane->senders;
+    senders.assign(n, kUnreachable);
     for (const uint32_t member : committee) {
       const SimDuration start = start_times[member];
       if (start != kUnreachable) {
@@ -67,21 +72,23 @@ void AlgorandEngine::Round() {
     const size_t threshold = std::max<size_t>(
         1, static_cast<size_t>(std::ceil(0.685 * static_cast<double>(committee.size()))));
     // Votes flood through the gossip network (multi-hop on large meshes).
-    return QuorumArrivalAll(ctx_->vote_delays(), senders, threshold,
-                            GossipHopScale(static_cast<int>(n)));
+    QuorumArrivalAllInto(ctx_->vote_delays(), senders, threshold,
+                         GossipHopScale(static_cast<int>(n)), plane, voted, hint_slot);
   };
 
-  std::vector<SimDuration> have_proposal(n, kUnreachable);
+  std::vector<SimDuration>& have_proposal = bcast;  // arrival + verify, in place
   for (uint32_t i = 0; i < n; ++i) {
     if (bcast[i] != kUnreachable) {
       have_proposal[i] = build_time + bcast[i] + verify;
     }
   }
 
-  const std::vector<SimDuration> soft = vote_step(/*step=*/1, have_proposal);
-  const std::vector<SimDuration> cert = vote_step(/*step=*/2, soft);
+  std::vector<SimDuration>& soft = plane->stage_b;
+  vote_step(/*step=*/1, have_proposal, &soft, /*hint_slot=*/0);
+  std::vector<SimDuration>& cert = plane->stage_c;
+  vote_step(/*step=*/2, soft, &cert, /*hint_slot=*/1);
 
-  const SimDuration round_latency = MedianDelay(cert);
+  const SimDuration round_latency = MedianDelayInto(cert, plane);
   if (round_latency == kUnreachable) {
     // No certification this round (committee unlucky / partitioned): the
     // proposal's transactions return to the pool and the round retries.

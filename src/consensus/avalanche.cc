@@ -24,10 +24,10 @@ SimDuration AvalancheEngine::DecisionTime(int node) {
       1, static_cast<size_t>(params.alpha_fraction * static_cast<double>(k)));
 
   SimDuration total = 0;
+  std::vector<SimDuration>& round_trips = ctx_->plane()->round_trips;
   for (int round = 0; round < params.beta; ++round) {
     // One query round: ask k random peers, proceed once alpha replied.
-    std::vector<SimDuration> round_trips;
-    round_trips.reserve(static_cast<size_t>(k));
+    round_trips.clear();
     for (int q = 0; q < k; ++q) {
       const size_t peer = rng_.NextBelow(static_cast<uint64_t>(n));
       const SimDuration one_way = ctx_->vote_delays().at(static_cast<size_t>(node), peer);
@@ -66,9 +66,12 @@ void AvalancheEngine::ProduceBlock() {
   ChainContext::BuiltBlock built = ctx_->BuildBlock(t0, proposer);
   const SimDuration build_time = built.build_time;
 
-  const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
-      hosts[static_cast<size_t>(proposer)], hosts, built.bytes, params.gossip_fanout);
-  const SimDuration propagation = MedianDelay(bcast);
+  MessagePlaneScratch* plane = ctx_->plane();
+  std::vector<SimDuration>& bcast = plane->stage_a;
+  ctx_->net()->BroadcastDelaysInto(hosts[static_cast<size_t>(proposer)], hosts,
+                                   built.bytes, params.gossip_fanout,
+                                   &plane->broadcast, &bcast);
+  const SimDuration propagation = MedianDelayInto(bcast, plane);
   const SimDuration verify = ctx_->ExecAndVerifyTime(built.gas, built.tx_count);
   const SimDuration decision = DecisionTime(proposer);
 

@@ -30,10 +30,12 @@ void CliqueEngine::ProduceBlock() {
   ChainContext::BuiltBlock built = ctx_->BuildBlock(t0, proposer);
   const SimDuration build_time = built.build_time;
   const auto& hosts = ctx_->hosts();
-  const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
-      hosts[static_cast<size_t>(proposer)], hosts, built.bytes,
-      ctx_->params().gossip_fanout);
-  const SimDuration propagation = MedianDelay(bcast);
+  MessagePlaneScratch* plane = ctx_->plane();
+  std::vector<SimDuration>& bcast = plane->stage_a;
+  ctx_->net()->BroadcastDelaysInto(hosts[static_cast<size_t>(proposer)], hosts,
+                                   built.bytes, ctx_->params().gossip_fanout,
+                                   &plane->broadcast, &bcast);
+  const SimDuration propagation = MedianDelayInto(bcast, plane);
   const SimTime visible = t0 + built.build_time +
                           (propagation == kUnreachable ? Seconds(1) : propagation) +
                           ctx_->ExecAndVerifyTime(built.gas, built.tx_count);

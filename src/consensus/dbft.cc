@@ -31,11 +31,14 @@ void DbftEngine::Round() {
   // representative proposer per round.
   const int sampled =
       static_cast<int>(rng_.NextBelow(static_cast<uint64_t>(n)));
-  const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
+  MessagePlaneScratch* plane = ctx_->plane();
+  std::vector<SimDuration>& bcast = plane->stage_a;
+  ctx_->net()->BroadcastDelaysInto(
       hosts[static_cast<size_t>(sampled)], hosts,
-      std::max<int64_t>(kBlockHeaderBytes, built.bytes / n), params.gossip_fanout);
+      std::max<int64_t>(kBlockHeaderBytes, built.bytes / n), params.gossip_fanout,
+      &plane->broadcast, &bcast);
 
-  std::vector<SimDuration> delivered(static_cast<size_t>(n), kUnreachable);
+  std::vector<SimDuration>& delivered = bcast;  // arrival + sharded work, in place
   for (int i = 0; i < n; ++i) {
     if (bcast[static_cast<size_t>(i)] != kUnreachable) {
       delivered[static_cast<size_t>(i)] = per_node_work + bcast[static_cast<size_t>(i)];
@@ -45,12 +48,14 @@ void DbftEngine::Round() {
   // Binary consensus per proposer, run concurrently: two all-to-all vote
   // rounds over 2f+1 quorums decide the whole batch.
   const double hops = GossipHopScale(n);
-  const std::vector<SimDuration> echoed =
-      QuorumArrivalAll(ctx_->vote_delays(), delivered, quorum, hops);
-  const std::vector<SimDuration> decided =
-      QuorumArrivalAll(ctx_->vote_delays(), echoed, quorum, hops);
+  std::vector<SimDuration>& echoed = plane->stage_b;
+  QuorumArrivalAllInto(ctx_->vote_delays(), delivered, quorum, hops, plane, &echoed,
+                       /*hint_slot=*/0);
+  std::vector<SimDuration>& decided = plane->stage_c;
+  QuorumArrivalAllInto(ctx_->vote_delays(), echoed, quorum, hops, plane, &decided,
+                       /*hint_slot=*/1);
 
-  const SimDuration round_latency = MedianDelay(decided);
+  const SimDuration round_latency = MedianDelayInto(decided, plane);
   if (round_latency == kUnreachable) {
     // The superblock missed its quorum: every mini-block's transactions
     // return to the pool for the next round.

@@ -43,18 +43,22 @@ void HotStuffEngine::Round() {
   // The leader sends the full proposal to every validator itself (star, no
   // relay) — LibraBFT's direct broadcast. Validators verify, then vote to
   // the next leader, which needs a 2f+1 quorum certificate.
-  const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
-      hosts[static_cast<size_t>(leader)], hosts, built.bytes, /*fanout=*/n - 1);
+  MessagePlaneScratch* plane = ctx_->plane();
+  std::vector<SimDuration>& bcast = plane->stage_a;
+  ctx_->net()->BroadcastDelaysInto(hosts[static_cast<size_t>(leader)], hosts,
+                                   built.bytes, /*fanout=*/n - 1, &plane->broadcast,
+                                   &bcast);
   const SimDuration follower_exec = ctx_->ExecAndVerifyTime(built.gas, built.tx_count);
-  std::vector<SimDuration> received(static_cast<size_t>(n), kUnreachable);
+  std::vector<SimDuration>& received = bcast;  // arrival + execution, in place
   for (int i = 0; i < n; ++i) {
     if (bcast[static_cast<size_t>(i)] != kUnreachable) {
       received[static_cast<size_t>(i)] =
           build_time + bcast[static_cast<size_t>(i)] + follower_exec;
     }
   }
-  const SimDuration qc_at_next_leader = QuorumArrival(
-      ctx_->vote_delays(), received, static_cast<size_t>(next_leader), quorum);
+  const SimDuration qc_at_next_leader =
+      QuorumArrivalInto(ctx_->vote_delays(), received,
+                        static_cast<size_t>(next_leader), quorum, 1.0, plane);
   if (qc_at_next_leader == kUnreachable) {
     // No quorum certificate: the proposal dies with the view and its
     // transactions return to the pool.

@@ -45,12 +45,15 @@ void IbftEngine::Round() {
   const SimDuration build_time = built.build_time;
   const size_t quorum = static_cast<size_t>(ByzantineQuorum(n));
   const auto& hosts = ctx_->hosts();
+  MessagePlaneScratch* plane = ctx_->plane();
 
   // PRE-PREPARE: the proposal reaches every validator, which re-executes it.
-  const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
-      hosts[static_cast<size_t>(leader)], hosts, built.bytes, params.gossip_fanout);
+  std::vector<SimDuration>& bcast = plane->stage_a;
+  ctx_->net()->BroadcastDelaysInto(hosts[static_cast<size_t>(leader)], hosts,
+                                   built.bytes, params.gossip_fanout,
+                                   &plane->broadcast, &bcast);
   const SimDuration follower_exec = ctx_->ExecAndVerifyTime(built.gas, built.tx_count);
-  std::vector<SimDuration> preprepared(static_cast<size_t>(n), kUnreachable);
+  std::vector<SimDuration>& preprepared = bcast;  // arrival + execution, in place
   for (int i = 0; i < n; ++i) {
     if (bcast[static_cast<size_t>(i)] != kUnreachable) {
       preprepared[static_cast<size_t>(i)] =
@@ -61,12 +64,14 @@ void IbftEngine::Round() {
   // PREPARE then COMMIT: all-to-all vote rounds over 2f+1 quorums; on large
   // deployments the n^2 vote flood relays through the devp2p mesh.
   const double hops = GossipHopScale(n);
-  const std::vector<SimDuration> prepared =
-      QuorumArrivalAll(ctx_->vote_delays(), preprepared, quorum, hops);
-  const std::vector<SimDuration> committed =
-      QuorumArrivalAll(ctx_->vote_delays(), prepared, quorum, hops);
+  std::vector<SimDuration>& prepared = plane->stage_b;
+  QuorumArrivalAllInto(ctx_->vote_delays(), preprepared, quorum, hops, plane,
+                       &prepared, /*hint_slot=*/0);
+  std::vector<SimDuration>& committed = plane->stage_c;
+  QuorumArrivalAllInto(ctx_->vote_delays(), prepared, quorum, hops, plane,
+                       &committed, /*hint_slot=*/1);
 
-  const SimDuration round_latency = MedianDelay(committed);
+  const SimDuration round_latency = MedianDelayInto(committed, plane);
   if (round_latency == kUnreachable) {
     // No commit quorum (partition / crash fault): the drafted transactions
     // go back to the pool for the next leader.

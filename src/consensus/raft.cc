@@ -30,18 +30,21 @@ void RaftEngine::Round() {
 
   // AppendEntries: the leader streams the block to every follower and
   // commits once a majority acknowledged.
-  const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
-      hosts[static_cast<size_t>(leader_)], hosts, built.bytes, /*fanout=*/n - 1);
+  MessagePlaneScratch* plane = ctx_->plane();
+  std::vector<SimDuration>& bcast = plane->stage_a;
+  ctx_->net()->BroadcastDelaysInto(hosts[static_cast<size_t>(leader_)], hosts,
+                                   built.bytes, /*fanout=*/n - 1, &plane->broadcast,
+                                   &bcast);
   const SimDuration follower_exec = ctx_->ExecAndVerifyTime(built.gas, built.tx_count);
-  std::vector<SimDuration> acked(static_cast<size_t>(n), kUnreachable);
+  std::vector<SimDuration>& acked = bcast;  // arrival + execution, in place
   for (int i = 0; i < n; ++i) {
     if (bcast[static_cast<size_t>(i)] != kUnreachable) {
       acked[static_cast<size_t>(i)] =
           build_time + bcast[static_cast<size_t>(i)] + follower_exec;
     }
   }
-  const SimDuration commit = QuorumArrival(ctx_->vote_delays(), acked,
-                                           static_cast<size_t>(leader_), majority);
+  const SimDuration commit = QuorumArrivalInto(
+      ctx_->vote_delays(), acked, static_cast<size_t>(leader_), majority, 1.0, plane);
   if (commit == kUnreachable) {
     // Leader lost its majority: elect the next node and retry after an
     // election timeout. The uncommitted entries return to the pool.

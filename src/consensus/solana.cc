@@ -34,9 +34,12 @@ void SolanaEngine::Slot() {
 
   // Turbine dissemination runs concurrently with PoH; the slot cadence does
   // not wait for it, but client-visible finality does.
-  const std::vector<SimDuration> bcast = ctx_->net()->BroadcastDelays(
-      hosts[static_cast<size_t>(leader)], hosts, built.bytes, params.gossip_fanout);
-  const SimDuration propagation = MedianDelay(bcast);
+  MessagePlaneScratch* plane = ctx_->plane();
+  std::vector<SimDuration>& bcast = plane->stage_a;
+  ctx_->net()->BroadcastDelaysInto(hosts[static_cast<size_t>(leader)], hosts,
+                                   built.bytes, params.gossip_fanout,
+                                   &plane->broadcast, &bcast);
+  const SimDuration propagation = MedianDelayInto(bcast, plane);
 
   // Client commitment: the slot completes, then `confirmation_depth`
   // further slots must land on top (§5.2: 30 confirmations).

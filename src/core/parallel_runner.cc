@@ -174,6 +174,11 @@ std::string StatsEntryJson(const RunnerStats& stats) {
 
 bool WriteRunnerStatsJson(const std::string& path, const std::string& binary,
                           const RunnerStats& stats) {
+  return WriteRunnerJsonEntry(path, binary, StatsEntryJson(stats));
+}
+
+bool WriteRunnerJsonEntry(const std::string& path, const std::string& key,
+                          const std::string& entry_json) {
   // Keep other binaries' entries so the file accumulates a whole-suite view.
   std::vector<std::pair<std::string, std::string>> entries;
   {
@@ -183,20 +188,20 @@ bool WriteRunnerStatsJson(const std::string& path, const std::string& binary,
       raw << in.rdbuf();
       const JsonResult parsed = ParseJson(raw.str());
       if (parsed.ok && parsed.value.IsObject()) {
-        for (const auto& [key, value] : parsed.value.members) {
+        for (const auto& [existing, value] : parsed.value.members) {
           // The schema stamp is re-emitted at the top, never copied through;
-          // this binary's entry is replaced below.
-          if (key == binary || key == "schema_version") {
+          // this entry's key is replaced below.
+          if (existing == key || existing == "schema_version") {
             continue;
           }
           std::ostringstream serialized;
           AppendJson(value, &serialized);
-          entries.emplace_back(key, serialized.str());
+          entries.emplace_back(existing, serialized.str());
         }
       }
     }
   }
-  entries.emplace_back(binary, StatsEntryJson(stats));
+  entries.emplace_back(key, entry_json);
 
   std::ofstream out(path, std::ios::trunc);
   if (!out) {

@@ -17,16 +17,23 @@ double SortitionDraw(uint64_t seed, uint64_t round, uint64_t step, uint64_t part
 std::vector<uint32_t> SelectCommittee(uint64_t seed, uint64_t round, uint64_t step,
                                       uint32_t population, double expected) {
   std::vector<uint32_t> committee;
+  SelectCommitteeInto(seed, round, step, population, expected, &committee);
+  return committee;
+}
+
+void SelectCommitteeInto(uint64_t seed, uint64_t round, uint64_t step,
+                         uint32_t population, double expected,
+                         std::vector<uint32_t>* committee) {
+  committee->clear();
   if (population == 0) {
-    return committee;
+    return;
   }
   const double probability = expected / static_cast<double>(population);
   for (uint32_t p = 0; p < population; ++p) {
     if (SortitionDraw(seed, round, step, p) < probability) {
-      committee.push_back(p);
+      committee->push_back(p);
     }
   }
-  return committee;
 }
 
 uint32_t SelectProposer(uint64_t seed, uint64_t round, uint32_t population) {

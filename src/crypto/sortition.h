@@ -18,6 +18,12 @@ double SortitionDraw(uint64_t seed, uint64_t round, uint64_t step, uint64_t part
 std::vector<uint32_t> SelectCommittee(uint64_t seed, uint64_t round, uint64_t step,
                                       uint32_t population, double expected);
 
+// SelectCommittee into a caller-owned vector (cleared first), so per-round
+// selection reuses one allocation.
+void SelectCommitteeInto(uint64_t seed, uint64_t round, uint64_t step,
+                         uint32_t population, double expected,
+                         std::vector<uint32_t>* committee);
+
 // Proposer priority: the participant with the lowest draw for the round.
 uint32_t SelectProposer(uint64_t seed, uint64_t round, uint32_t population);
 

@@ -1,9 +1,12 @@
 #include "src/net/network.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <utility>
+
+#include "src/support/profile.h"
 
 namespace diablo {
 
@@ -12,6 +15,8 @@ Network::Network(Simulation* sim, double jitter_frac)
       jitter_frac_(jitter_frac),
       rng_(sim->ForkRng()),
       extra_delays_(kRegionCount * kRegionCount, 0) {}
+
+Network::~Network() { profile::AddSends(stats_.sends); }
 
 HostId Network::AddHost(Region region) {
   regions_.push_back(region);
@@ -40,6 +45,61 @@ SimDuration Network::DelaySample(HostId from, HostId to, int64_t bytes) {
   return prop + trans + jitter + ExtraDelay(a, b);
 }
 
+void Network::FillPairwiseDelays(const std::vector<HostId>& hosts,
+                                 int64_t message_bytes,
+                                 std::vector<SimDuration>* out) {
+  const size_t n = hosts.size();
+  out->assign(n * n, 0);
+  // Topology, extra delays and partitions are fixed for the duration of this
+  // call, so the deterministic part of a sample is a pure function of the
+  // region pair. Memoise it and pay only the jitter draw per entry. Entries
+  // are visited in the same row-major order — and draw the RNG under exactly
+  // the same conditions — as a DelaySample-per-pair loop, keeping the stream
+  // bit-identical.
+  struct BaseEntry {
+    SimDuration base = 0;
+    double prop = 0.0;
+    bool ready = false;
+  };
+  std::array<BaseEntry, kRegionCount * kRegionCount> cache{};
+  SimDuration* row = out->data();
+  for (size_t i = 0; i < n; ++i, row += n) {
+    const HostId from = hosts[i];
+    const bool from_partitioned = partitioned_[from];
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        continue;  // assign() zeroed the diagonal
+      }
+      const HostId to = hosts[j];
+      if (from_partitioned || partitioned_[to]) {
+        row[j] = kUnreachable;
+        continue;
+      }
+      if (from == to) {
+        row[j] = 0;
+        continue;
+      }
+      const Region a = regions_[from];
+      const Region b = regions_[to];
+      if (!loss_windows_.empty() && LossDrop(a, b)) {
+        row[j] = kUnreachable;
+        continue;
+      }
+      BaseEntry& entry =
+          cache[static_cast<size_t>(a) * kRegionCount + static_cast<size_t>(b)];
+      if (!entry.ready) {
+        const LinkParams& link = Topology::Link(a, b);
+        entry.base = link.propagation + Topology::TransmissionDelayOn(link, message_bytes) +
+                     ExtraDelay(a, b);
+        entry.prop = static_cast<double>(link.propagation);
+        entry.ready = true;
+      }
+      const double jitter_scale = jitter_frac_ * std::abs(rng_.NextGaussian(0.0, 1.0));
+      row[j] = entry.base + static_cast<SimDuration>(entry.prop * jitter_scale);
+    }
+  }
+}
+
 void Network::Send(HostId from, HostId to, int64_t bytes, EventFn fn) {
   ++stats_.sends;
   const SimDuration delay = DelaySample(from, to, bytes);
@@ -55,15 +115,25 @@ void Network::Send(HostId from, HostId to, int64_t bytes, EventFn fn) {
 std::vector<SimDuration> Network::BroadcastDelays(HostId origin,
                                                   const std::vector<HostId>& recipients,
                                                   int64_t bytes, int fanout) {
-  std::vector<SimDuration> result(recipients.size(), kUnreachable);
+  BroadcastScratch scratch;
+  std::vector<SimDuration> result;
+  BroadcastDelaysInto(origin, recipients, bytes, fanout, &scratch, &result);
+  return result;
+}
+
+void Network::BroadcastDelaysInto(HostId origin, const std::vector<HostId>& recipients,
+                                  int64_t bytes, int fanout, BroadcastScratch* scratch,
+                                  std::vector<SimDuration>* out) {
+  std::vector<SimDuration>& result = *out;
+  result.assign(recipients.size(), kUnreachable);
   if (fanout < 1) {
     fanout = 1;
   }
 
   // Order the reachable recipients deterministically but unpredictably: the
   // tree shape changes every broadcast like a real gossip overlay.
-  std::vector<size_t> order;
-  order.reserve(recipients.size());
+  std::vector<size_t>& order = scratch->order;
+  order.clear();
   for (size_t i = 0; i < recipients.size(); ++i) {
     if (recipients[i] == origin) {
       result[i] = 0;
@@ -79,11 +149,10 @@ std::vector<SimDuration> Network::BroadcastDelays(HostId origin,
 
   // BFS gossip tree: parents forward `bytes` to up to `fanout` children; the
   // k-th child waits k transmission slots on the parent uplink.
-  struct TreeNode {
-    HostId host;
-    SimDuration ready;  // time the payload is fully received at this node
-  };
-  std::vector<TreeNode> frontier = {{origin, 0}};
+  using TreeNode = BroadcastScratch::TreeNode;
+  std::vector<TreeNode>& frontier = scratch->frontier;
+  frontier.clear();
+  frontier.push_back(TreeNode{origin, 0});
   size_t next = 0;
   size_t frontier_head = 0;
   while (next < order.size() && frontier_head < frontier.size()) {
@@ -112,7 +181,6 @@ std::vector<SimDuration> Network::BroadcastDelays(HostId origin,
       frontier.push_back(TreeNode{child, arrival});
     }
   }
-  return result;
 }
 
 void Network::SetExtraDelay(Region a, Region b, SimDuration extra) {

@@ -23,6 +23,17 @@ using HostId = uint32_t;
 // Returned for undeliverable messages (partitioned hosts).
 inline constexpr SimDuration kUnreachable = -1;
 
+// Reusable working memory for BroadcastDelaysInto. Engines own one instance
+// and pass it to every broadcast so steady-state rounds never allocate.
+struct BroadcastScratch {
+  struct TreeNode {
+    HostId host;
+    SimDuration ready;  // time the payload is fully received at this node
+  };
+  std::vector<size_t> order;
+  std::vector<TreeNode> frontier;
+};
+
 // Per-network message accounting, so fault runs are observable: how many
 // point-to-point sends happened, how many were dropped because an endpoint
 // was unreachable, and how many fell to an injected loss window.
@@ -36,6 +47,7 @@ class Network {
  public:
   // `jitter_frac` scales a half-normal jitter term added to propagation.
   explicit Network(Simulation* sim, double jitter_frac = 0.05);
+  ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -48,6 +60,15 @@ class Network {
   // kUnreachable when either endpoint is partitioned off.
   SimDuration DelaySample(HostId from, HostId to, int64_t bytes);
 
+  // Fills `out` (resized to n*n, row-major: out[from*n+to]) with one delay
+  // sample per ordered host pair — exactly the samples DelaySample would
+  // return pair by pair in row-major order, jitter draws included. The
+  // deterministic part of each sample (propagation + transmission +
+  // extra delay) is memoised per region pair, so only the jitter draw runs
+  // per entry.
+  void FillPairwiseDelays(const std::vector<HostId>& hosts, int64_t message_bytes,
+                          std::vector<SimDuration>* out);
+
   // Schedules `fn` at the destination after a sampled delay; drops the
   // message silently when unreachable (like a real network would).
   void Send(HostId from, HostId to, int64_t bytes, EventFn fn);
@@ -58,6 +79,12 @@ class Network {
   std::vector<SimDuration> BroadcastDelays(HostId origin,
                                            const std::vector<HostId>& recipients,
                                            int64_t bytes, int fanout);
+
+  // BroadcastDelays into caller-owned buffers: identical tree, identical RNG
+  // draws, zero allocations once `scratch` and `result` are warm.
+  void BroadcastDelaysInto(HostId origin, const std::vector<HostId>& recipients,
+                           int64_t bytes, int fanout, BroadcastScratch* scratch,
+                           std::vector<SimDuration>* result);
 
   // Fault injection: adds a fixed extra delay on one region pair (both
   // directions — the matrix stays symmetric), or cuts a host off entirely.

@@ -2,9 +2,13 @@
 
 #include <utility>
 
+#include "src/support/profile.h"
+
 namespace diablo {
 
 Simulation::Simulation(uint64_t seed) : rng_(seed) {}
+
+Simulation::~Simulation() { profile::AddEvents(events_executed_); }
 
 void Simulation::Schedule(SimDuration delay, EventFn fn) {
   ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));

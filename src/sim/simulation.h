@@ -18,6 +18,7 @@ namespace diablo {
 class Simulation {
  public:
   explicit Simulation(uint64_t seed);
+  ~Simulation();
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;

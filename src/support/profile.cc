@@ -1,0 +1,52 @@
+#include "src/support/profile.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <inttypes.h>
+
+namespace diablo::profile {
+namespace {
+
+std::atomic<uint64_t> g_events{0};
+std::atomic<uint64_t> g_sends{0};
+std::atomic<uint64_t> g_vote_rounds{0};
+std::atomic<uint64_t> g_vm_ops{0};
+
+const std::chrono::steady_clock::time_point g_start = std::chrono::steady_clock::now();
+
+void PrintSummary() {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - g_start).count();
+  std::fprintf(stderr,
+               "[profile] events=%" PRIu64 " net_sends=%" PRIu64 " vote_rounds=%" PRIu64
+               " vm_ops=%" PRIu64 " wall=%.2fs\n",
+               g_events.load(std::memory_order_relaxed),
+               g_sends.load(std::memory_order_relaxed),
+               g_vote_rounds.load(std::memory_order_relaxed),
+               g_vm_ops.load(std::memory_order_relaxed), wall);
+}
+
+bool InitEnabled() {
+  const char* env = std::getenv("DIABLO_PROFILE");
+  const bool on = env != nullptr && std::strcmp(env, "1") == 0;
+  if (on) {
+    std::atexit(PrintSummary);
+  }
+  return on;
+}
+
+const bool g_enabled = InitEnabled();
+
+}  // namespace
+
+bool Enabled() { return g_enabled; }
+
+void AddEvents(uint64_t n) { g_events.fetch_add(n, std::memory_order_relaxed); }
+void AddSends(uint64_t n) { g_sends.fetch_add(n, std::memory_order_relaxed); }
+void CountVoteRound() { g_vote_rounds.fetch_add(1, std::memory_order_relaxed); }
+void AddVmOps(uint64_t n) { g_vm_ops.fetch_add(n, std::memory_order_relaxed); }
+
+}  // namespace diablo::profile

@@ -1,0 +1,27 @@
+// Lightweight per-subsystem counters behind DIABLO_PROFILE=1.
+//
+// Every binary accumulates events executed, network sends, vote rounds and VM
+// ops into process-wide relaxed atomics; when the environment variable
+// DIABLO_PROFILE=1 is set, a summary line is printed to stderr at process
+// exit. stdout is never touched, so profiled runs stay byte-identical to
+// unprofiled ones. Counters are fed at cold points (simulation/network
+// destructors, once per vote round, once per contract execution) — the hot
+// loops themselves carry no instrumentation.
+#ifndef SRC_SUPPORT_PROFILE_H_
+#define SRC_SUPPORT_PROFILE_H_
+
+#include <cstdint>
+
+namespace diablo::profile {
+
+// True when DIABLO_PROFILE=1 was set at startup (read once).
+bool Enabled();
+
+void AddEvents(uint64_t n);
+void AddSends(uint64_t n);
+void CountVoteRound();
+void AddVmOps(uint64_t n);
+
+}  // namespace diablo::profile
+
+#endif  // SRC_SUPPORT_PROFILE_H_

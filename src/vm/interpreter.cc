@@ -1,7 +1,9 @@
 #include "src/vm/interpreter.h"
 
+#include <algorithm>
 #include <vector>
 
+#include "src/support/profile.h"
 #include "src/vm/opcode.h"
 
 namespace diablo {
@@ -65,7 +67,12 @@ std::string_view VmStatusName(VmStatus status) {
   return "?";
 }
 
-ExecResult Execute(const ExecRequest& request) {
+namespace {
+
+// Reference interpreter: decodes each instruction from the raw byte stream as
+// it executes. Runs hand-built programs (no `decoded` table) and serves as the
+// semantic oracle the decoded path is tested against.
+ExecResult ExecuteBytes(const ExecRequest& request) {
   const DialectLimits& limits = LimitsOf(request.dialect);
   ExecResult result;
   result.gas_used = limits.intrinsic_gas;
@@ -435,6 +442,422 @@ done:
       request.state->StoreBytes(write.key, write.bytes, limits.max_kv_bytes);
     }
   }
+  return result;
+}
+
+// Fast path over the assembler's pre-decoded instruction stream: opcode, gas
+// cost, operand and fall-through pc come straight from the DecodedInsn table,
+// the operand stack is a flat array, and the per-call scratch (memory and
+// write journals) is thread-local so steady-state calls allocate nothing.
+// Must stay observably identical to ExecuteBytes — including failure statuses,
+// gas/op accounting on every early exit, and the decode-before-charge rule
+// (kBadOp and kEnd charge nothing).
+ExecResult ExecuteDecoded(const ExecRequest& request) {
+  const DialectLimits& limits = LimitsOf(request.dialect);
+  ExecResult result;
+  result.gas_used = limits.intrinsic_gas;
+
+  const int64_t entry =
+      request.entry >= 0 ? request.entry : request.program->EntryOf(request.function);
+  if (entry < 0) {
+    result.status = VmStatus::kNoSuchFunction;
+    return result;
+  }
+
+  const std::vector<uint8_t>& code = request.program->code;
+  const DecodedInsn* const decoded = request.program->decoded.data();
+  const size_t code_size = code.size();
+
+  // Budget caps hoisted out of the loop: a disabled limit becomes an
+  // unreachable sentinel, so the loop body is four predictable compares. The
+  // check ORDER matches ExecuteBytes exactly (op budget, then gas budget,
+  // then gas limit, then the absolute op ceiling).
+  const int64_t op_budget =
+      limits.op_budget > 0 ? limits.op_budget : INT64_MAX;
+  const int64_t gas_budget =
+      limits.gas_budget > 0 ? limits.gas_budget : INT64_MAX;
+  const int64_t gas_limit =
+      request.gas_limit > 0 ? request.gas_limit : INT64_MAX;
+
+  int64_t stack[kMaxStackDepth];
+  size_t sp = 0;
+  uint32_t call_stack[kMaxCallDepth];
+  size_t csp = 0;
+
+  thread_local std::vector<int64_t> memory;
+  thread_local std::vector<WordWrite> word_journal;
+  thread_local std::vector<BlobWrite> blob_journal;
+  memory.clear();
+  word_journal.clear();
+  blob_journal.clear();
+
+  auto journaled_load = [&](uint64_t key) -> int64_t {
+    for (auto it = word_journal.rbegin(); it != word_journal.rend(); ++it) {
+      if (it->key == key) {
+        return it->value;
+      }
+    }
+    return request.state != nullptr ? request.state->Load(key) : 0;
+  };
+
+  auto fail = [&](VmStatus status) {
+    result.status = status;
+    return result;
+  };
+
+  size_t pc = static_cast<size_t>(entry);
+  if (pc >= code_size) {
+    // Entry at or past the end: clean stop, same as the byte path's loop
+    // guard (also keeps `decoded[pc]` in bounds for malformed entries).
+    goto done;
+  }
+
+  while (true) {
+    const DecodedInsn& insn = decoded[pc];
+    if (insn.kind != DecodedInsn::kOp) {
+      if (insn.kind == DecodedInsn::kEnd) {
+        break;  // ran off the end: clean stop, nothing charged
+      }
+      return fail(VmStatus::kInvalidOpcode);  // kBadOp: charged nothing
+    }
+
+    ++result.ops_executed;
+    result.gas_used += insn.gas;
+    if (result.ops_executed > op_budget) {
+      return fail(VmStatus::kBudgetExceeded);
+    }
+    if (result.gas_used > gas_budget) {
+      return fail(VmStatus::kBudgetExceeded);
+    }
+    if (result.gas_used > gas_limit) {
+      return fail(VmStatus::kOutOfGas);
+    }
+    if (result.ops_executed > kMaxOps) {
+      return fail(VmStatus::kBudgetExceeded);
+    }
+
+    const int64_t imm = insn.imm;
+    size_t next_pc = insn.next;
+
+    switch (static_cast<Opcode>(insn.op)) {
+      case Opcode::kStop:
+        goto done;
+      case Opcode::kPush:
+        if (sp >= kMaxStackDepth) {
+          return fail(VmStatus::kStackOverflow);
+        }
+        stack[sp++] = imm;
+        break;
+      case Opcode::kPop:
+        if (sp < 1) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        --sp;
+        break;
+      case Opcode::kDup: {
+        const size_t depth = static_cast<size_t>(imm);
+        if (sp < depth + 1) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        if (sp >= kMaxStackDepth) {
+          return fail(VmStatus::kStackOverflow);
+        }
+        stack[sp] = stack[sp - 1 - depth];
+        ++sp;
+        break;
+      }
+      case Opcode::kSwap: {
+        const size_t depth = static_cast<size_t>(imm);
+        if (depth == 0 || sp < depth + 1) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        std::swap(stack[sp - 1], stack[sp - 1 - depth]);
+        break;
+      }
+      case Opcode::kAdd:
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        --sp;
+        stack[sp - 1] += stack[sp];
+        break;
+      case Opcode::kSub:
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        --sp;
+        stack[sp - 1] -= stack[sp];
+        break;
+      case Opcode::kMul:
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        --sp;
+        stack[sp - 1] *= stack[sp];
+        break;
+      case Opcode::kDiv:
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        if (stack[sp - 1] == 0) {
+          return fail(VmStatus::kDivisionByZero);
+        }
+        --sp;
+        stack[sp - 1] /= stack[sp];
+        break;
+      case Opcode::kMod:
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        if (stack[sp - 1] == 0) {
+          return fail(VmStatus::kDivisionByZero);
+        }
+        --sp;
+        stack[sp - 1] %= stack[sp];
+        break;
+      case Opcode::kLt:
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        --sp;
+        stack[sp - 1] = static_cast<int64_t>(stack[sp - 1] < stack[sp]);
+        break;
+      case Opcode::kGt:
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        --sp;
+        stack[sp - 1] = static_cast<int64_t>(stack[sp - 1] > stack[sp]);
+        break;
+      case Opcode::kLe:
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        --sp;
+        stack[sp - 1] = static_cast<int64_t>(stack[sp - 1] <= stack[sp]);
+        break;
+      case Opcode::kGe:
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        --sp;
+        stack[sp - 1] = static_cast<int64_t>(stack[sp - 1] >= stack[sp]);
+        break;
+      case Opcode::kEq:
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        --sp;
+        stack[sp - 1] = static_cast<int64_t>(stack[sp - 1] == stack[sp]);
+        break;
+      case Opcode::kNeq:
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        --sp;
+        stack[sp - 1] = static_cast<int64_t>(stack[sp - 1] != stack[sp]);
+        break;
+      case Opcode::kNot:
+        if (sp < 1) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        stack[sp - 1] = stack[sp - 1] == 0 ? 1 : 0;
+        break;
+      case Opcode::kAnd:
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        --sp;
+        stack[sp - 1] = static_cast<int64_t>(stack[sp - 1] != 0 && stack[sp] != 0);
+        break;
+      case Opcode::kOr:
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        --sp;
+        stack[sp - 1] = static_cast<int64_t>(stack[sp - 1] != 0 || stack[sp] != 0);
+        break;
+      case Opcode::kShl:
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        --sp;
+        stack[sp - 1] =
+            stack[sp] < 0 || stack[sp] > 63
+                ? 0
+                : static_cast<int64_t>(static_cast<uint64_t>(stack[sp - 1]) << stack[sp]);
+        break;
+      case Opcode::kShr:
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        --sp;
+        stack[sp - 1] =
+            stack[sp] < 0 || stack[sp] > 63
+                ? 0
+                : static_cast<int64_t>(static_cast<uint64_t>(stack[sp - 1]) >> stack[sp]);
+        break;
+      case Opcode::kJump:
+        if (static_cast<size_t>(imm) > code_size) {
+          return fail(VmStatus::kInvalidJump);
+        }
+        next_pc = static_cast<size_t>(imm);
+        break;
+      case Opcode::kJumpI: {
+        if (sp < 1) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        const int64_t condition = stack[--sp];
+        if (condition != 0) {
+          if (static_cast<size_t>(imm) > code_size) {
+            return fail(VmStatus::kInvalidJump);
+          }
+          next_pc = static_cast<size_t>(imm);
+        }
+        break;
+      }
+      case Opcode::kSload: {
+        if (sp < 1) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        stack[sp - 1] = journaled_load(static_cast<uint64_t>(stack[sp - 1]));
+        break;
+      }
+      case Opcode::kSstore: {
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        const int64_t value = stack[--sp];
+        const uint64_t key = static_cast<uint64_t>(stack[--sp]);
+        word_journal.push_back(WordWrite{key, value});
+        break;
+      }
+      case Opcode::kSstoreBytes: {
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        const int64_t bytes = stack[--sp];
+        const uint64_t key = static_cast<uint64_t>(stack[--sp]);
+        if (limits.max_kv_bytes > 0 && bytes > limits.max_kv_bytes) {
+          return fail(VmStatus::kStateLimitExceeded);
+        }
+        result.gas_used += kGasPerStoredByte * (bytes < 0 ? 0 : bytes);
+        if (result.gas_used > gas_budget) {
+          return fail(VmStatus::kBudgetExceeded);
+        }
+        if (result.gas_used > gas_limit) {
+          return fail(VmStatus::kOutOfGas);
+        }
+        blob_journal.push_back(BlobWrite{key, bytes});
+        break;
+      }
+      case Opcode::kCaller:
+        if (sp >= kMaxStackDepth) {
+          return fail(VmStatus::kStackOverflow);
+        }
+        stack[sp++] = static_cast<int64_t>(request.caller);
+        break;
+      case Opcode::kArg: {
+        const size_t index = static_cast<size_t>(imm);
+        if (sp >= kMaxStackDepth) {
+          return fail(VmStatus::kStackOverflow);
+        }
+        stack[sp++] = index < request.args.size() ? request.args[index] : 0;
+        break;
+      }
+      case Opcode::kArgCount:
+        if (sp >= kMaxStackDepth) {
+          return fail(VmStatus::kStackOverflow);
+        }
+        stack[sp++] = static_cast<int64_t>(request.args.size());
+        break;
+      case Opcode::kEmit: {
+        const size_t values = static_cast<size_t>(imm);
+        if (sp < values) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        sp -= values;
+        result.gas_used += kGasPerEmittedValue * static_cast<int64_t>(values);
+        ++result.events_emitted;
+        break;
+      }
+      case Opcode::kReturn:
+        if (sp < 1) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        result.return_value = stack[sp - 1];
+        goto done;
+      case Opcode::kRevert:
+        return fail(VmStatus::kReverted);
+      case Opcode::kCall:
+        if (static_cast<size_t>(imm) > code_size) {
+          return fail(VmStatus::kInvalidJump);
+        }
+        if (csp >= kMaxCallDepth) {
+          return fail(VmStatus::kStackOverflow);
+        }
+        call_stack[csp++] = insn.next;
+        next_pc = static_cast<size_t>(imm);
+        break;
+      case Opcode::kRet:
+        if (csp == 0) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        next_pc = call_stack[--csp];
+        break;
+      case Opcode::kMload: {
+        if (sp < 1) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        const uint64_t address = static_cast<uint64_t>(stack[sp - 1]);
+        if (address >= kMaxMemoryWords) {
+          return fail(VmStatus::kInvalidJump);
+        }
+        stack[sp - 1] = address < memory.size() ? memory[address] : 0;
+        break;
+      }
+      case Opcode::kMstore: {
+        if (sp < 2) {
+          return fail(VmStatus::kStackUnderflow);
+        }
+        const int64_t value = stack[--sp];
+        const uint64_t address = static_cast<uint64_t>(stack[--sp]);
+        if (address >= kMaxMemoryWords) {
+          return fail(VmStatus::kInvalidJump);
+        }
+        if (address >= memory.size()) {
+          memory.resize(address + 1, 0);
+        }
+        memory[address] = value;
+        break;
+      }
+      case Opcode::kOpcodeCount:
+        return fail(VmStatus::kInvalidOpcode);
+    }
+    pc = next_pc;
+  }
+
+done:
+  if (request.state != nullptr) {
+    for (const WordWrite& write : word_journal) {
+      request.state->Store(write.key, write.value);
+    }
+    for (const BlobWrite& write : blob_journal) {
+      request.state->StoreBytes(write.key, write.bytes, limits.max_kv_bytes);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ExecResult Execute(const ExecRequest& request) {
+  // Assembled programs carry a pre-decoded table (one entry per byte offset
+  // plus the end sentinel); hand-built programs fall back to byte decoding.
+  const bool predecoded =
+      request.program->decoded.size() == request.program->code.size() + 1;
+  ExecResult result = predecoded ? ExecuteDecoded(request) : ExecuteBytes(request);
+  profile::AddVmOps(static_cast<uint64_t>(result.ops_executed));
   return result;
 }
 

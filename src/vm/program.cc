@@ -1,0 +1,42 @@
+#include "src/vm/program.h"
+
+#include "src/vm/opcode.h"
+
+namespace diablo {
+namespace {
+
+int64_t ReadImmediate(const std::vector<uint8_t>& code, size_t pc, int width) {
+  int64_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    value |= static_cast<int64_t>(code[pc + static_cast<size_t>(i)]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+void Program::Predecode() {
+  decoded.assign(code.size() + 1, DecodedInsn{});
+  for (size_t pc = 0; pc < code.size(); ++pc) {
+    DecodedInsn& insn = decoded[pc];
+    const uint8_t byte = code[pc];
+    if (byte >= static_cast<uint8_t>(Opcode::kOpcodeCount)) {
+      continue;  // stays kBadOp
+    }
+    const Opcode op = static_cast<Opcode>(byte);
+    const int width = ImmediateWidth(op);
+    if (pc + 1 + static_cast<size_t>(width) > code.size()) {
+      continue;  // truncated immediate: stays kBadOp
+    }
+    insn.op = byte;
+    insn.kind = DecodedInsn::kOp;
+    insn.gas = static_cast<int32_t>(OpcodeGas(op));
+    insn.next = static_cast<uint32_t>(pc + 1 + static_cast<size_t>(width));
+    insn.imm = width > 0 ? ReadImmediate(code, pc + 1, width) : 0;
+  }
+  // One past the end: falling (or jumping) off the code is a clean stop that
+  // charges no gas and counts no op.
+  decoded[code.size()].kind = DecodedInsn::kEnd;
+}
+
+}  // namespace diablo

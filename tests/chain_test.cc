@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/chain/block.h"
 #include "src/chain/execution.h"
 #include "src/chain/mempool.h"
@@ -410,6 +413,171 @@ TEST(VoteRoundTest, MedianDelay) {
   EXPECT_EQ(MedianDelay({}), kUnreachable);
   EXPECT_EQ(MedianDelay({Seconds(5)}), Seconds(5));
   EXPECT_EQ(MedianDelay({Seconds(1), kUnreachable, Seconds(3), Seconds(2)}), Seconds(2));
+}
+
+// --- semantics locks for the vote-round reduction plane --------------------
+// These pin the exact arithmetic of PairwiseDelays / QuorumArrival[All] /
+// MedianDelay / GossipHopScale — order statistics, hop-scale rounding,
+// unreachable filtering — so a scratch-buffer rewrite of the message plane
+// is observably identical to this reference implementation.
+
+TEST(VoteRoundTest, GossipHopScaleExactValues) {
+  EXPECT_DOUBLE_EQ(GossipHopScale(1), 1.0);
+  EXPECT_DOUBLE_EQ(GossipHopScale(10), 1.0);
+  EXPECT_DOUBLE_EQ(GossipHopScale(25), 1.0);
+  EXPECT_DOUBLE_EQ(GossipHopScale(50), 2.0);
+  EXPECT_DOUBLE_EQ(GossipHopScale(100), 3.0);
+  EXPECT_DOUBLE_EQ(GossipHopScale(200), 4.0);
+  EXPECT_DOUBLE_EQ(GossipHopScale(26), 1.0 + std::log2(26.0 / 25.0));
+}
+
+TEST(VoteRoundTest, PairwiseDelaysMatchDelaySamples) {
+  // With zero jitter every sample of a pair is identical, so the matrix must
+  // equal a fresh DelaySample per pair: propagation + transmission, zero on
+  // the diagonal, symmetric.
+  Simulation sim(5);
+  Network net(&sim, /*jitter_frac=*/0.0);
+  const DeploymentConfig devnet = GetDeployment("devnet");
+  std::vector<HostId> hosts;
+  for (int i = 0; i < devnet.node_count; ++i) {
+    hosts.push_back(net.AddHost(devnet.NodeRegion(i)));
+  }
+  PairwiseDelays delays(&net, hosts, 256);
+  ASSERT_EQ(delays.size(), hosts.size());
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    for (size_t j = 0; j < hosts.size(); ++j) {
+      if (i == j) {
+        EXPECT_EQ(delays.at(i, j), 0);
+        continue;
+      }
+      EXPECT_EQ(delays.at(i, j), net.DelaySample(hosts[i], hosts[j], 256))
+          << i << "," << j;
+      EXPECT_EQ(delays.at(i, j), delays.at(j, i));
+    }
+  }
+}
+
+TEST(VoteRoundTest, PairwiseDelaysDeterministicPerSeed) {
+  // Jittered fills consume the network RNG in a fixed pair order, so two
+  // identically-seeded networks produce bit-identical matrices.
+  const DeploymentConfig devnet = GetDeployment("devnet");
+  auto build = [&](uint64_t seed) {
+    Simulation sim(seed);
+    Network net(&sim);
+    std::vector<HostId> hosts;
+    for (int i = 0; i < devnet.node_count; ++i) {
+      hosts.push_back(net.AddHost(devnet.NodeRegion(i)));
+    }
+    PairwiseDelays delays(&net, hosts, 256);
+    std::vector<SimDuration> flat;
+    for (size_t i = 0; i < hosts.size(); ++i) {
+      for (size_t j = 0; j < hosts.size(); ++j) {
+        flat.push_back(delays.at(i, j));
+      }
+    }
+    return flat;
+  };
+  EXPECT_EQ(build(99), build(99));
+  EXPECT_NE(build(99), build(100));
+}
+
+TEST(VoteRoundTest, QuorumArrivalMatchesSortReference) {
+  // The exactness lock: for a multi-region jittered matrix and send times
+  // with unreachable holes, QuorumArrival must return exactly the
+  // (quorum-1)-th order statistic of {send[j] + trunc(hop * scale)} over
+  // reachable (sender, edge) pairs — for every receiver, quorum and scale.
+  Simulation sim(1234);
+  Network net(&sim);
+  const DeploymentConfig devnet = GetDeployment("devnet");
+  const int n = 37;
+  std::vector<HostId> hosts;
+  for (int i = 0; i < n; ++i) {
+    hosts.push_back(net.AddHost(devnet.NodeRegion(i)));
+  }
+  PairwiseDelays delays(&net, hosts, 256);
+
+  Rng rng(7);
+  std::vector<SimDuration> sends(static_cast<size_t>(n));
+  for (auto& s : sends) {
+    s = rng.NextBelow(8) == 0
+            ? kUnreachable
+            : static_cast<SimDuration>(rng.NextBelow(static_cast<uint64_t>(Seconds(2))));
+  }
+
+  for (const double hop_scale : {1.0, 2.0, 4.0, 1.0 + std::log2(37.0 / 25.0)}) {
+    const std::vector<SimDuration> all =
+        QuorumArrivalAll(delays, sends, /*quorum=*/25, hop_scale);
+    ASSERT_EQ(all.size(), sends.size());
+    for (size_t receiver = 0; receiver < sends.size(); ++receiver) {
+      std::vector<SimDuration> arrivals;
+      for (size_t j = 0; j < sends.size(); ++j) {
+        if (sends[j] == kUnreachable || delays.at(j, receiver) == kUnreachable) {
+          continue;
+        }
+        arrivals.push_back(sends[j] +
+                           static_cast<SimDuration>(
+                               static_cast<double>(delays.at(j, receiver)) * hop_scale));
+      }
+      std::sort(arrivals.begin(), arrivals.end());
+      for (const size_t quorum : {size_t{1}, size_t{13}, size_t{25}, arrivals.size()}) {
+        const SimDuration expected =
+            quorum == 0 || arrivals.size() < quorum ? kUnreachable : arrivals[quorum - 1];
+        EXPECT_EQ(QuorumArrival(delays, sends, receiver, quorum, hop_scale), expected)
+            << "receiver " << receiver << " quorum " << quorum << " scale " << hop_scale;
+      }
+      EXPECT_EQ(all[receiver], QuorumArrival(delays, sends, receiver, 25, hop_scale));
+    }
+  }
+}
+
+TEST(VoteRoundTest, QuorumArrivalHopScaleAppliesToNetworkDelayOnly) {
+  // One LAN region, zero jitter: every off-diagonal hop is the same h. The
+  // scale multiplies h (truncated back to integer ticks), never the send
+  // time; a quorum of 1 is satisfied by the instant self-vote.
+  Simulation sim(2);
+  Network net(&sim, /*jitter_frac=*/0.0);
+  std::vector<HostId> hosts;
+  for (int i = 0; i < 5; ++i) {
+    hosts.push_back(net.AddHost(Region::kOhio));
+  }
+  PairwiseDelays delays(&net, hosts, 256);
+  const SimDuration h = delays.at(0, 1);
+  ASSERT_GT(h, 0);
+  const std::vector<SimDuration> sends(5, Seconds(3));
+  EXPECT_EQ(QuorumArrival(delays, sends, 0, 1, 2.5), Seconds(3));
+  EXPECT_EQ(QuorumArrival(delays, sends, 0, 2, 2.5),
+            Seconds(3) + static_cast<SimDuration>(static_cast<double>(h) * 2.5));
+  EXPECT_EQ(QuorumArrival(delays, sends, 0, 2, 1.0), Seconds(3) + h);
+}
+
+TEST(VoteRoundTest, QuorumArrivalEdgeCases) {
+  Simulation sim(3);
+  Network net(&sim, 0.0);
+  std::vector<HostId> hosts;
+  for (int i = 0; i < 4; ++i) {
+    hosts.push_back(net.AddHost(Region::kOhio));
+  }
+  PairwiseDelays delays(&net, hosts, 256);
+  const std::vector<SimDuration> sends(4, 0);
+  // Quorum zero is defined as unreachable (no "instant" quorum).
+  EXPECT_EQ(QuorumArrival(delays, sends, 0, 0), kUnreachable);
+  // Quorum above the voter count can never assemble.
+  EXPECT_EQ(QuorumArrival(delays, sends, 0, 5), kUnreachable);
+  // All senders dark: every receiver is unreachable.
+  const std::vector<SimDuration> dark(4, kUnreachable);
+  for (const SimDuration d : QuorumArrivalAll(delays, dark, 1)) {
+    EXPECT_EQ(d, kUnreachable);
+  }
+}
+
+TEST(VoteRoundTest, MedianDelayUpperMedianLock) {
+  // Even-sized inputs take the element at index size/2 — the upper median.
+  EXPECT_EQ(MedianDelay({Seconds(1), Seconds(2), Seconds(3), Seconds(4)}), Seconds(3));
+  EXPECT_EQ(MedianDelay({Seconds(4), Seconds(3), Seconds(2), Seconds(1)}), Seconds(3));
+  // Unreachable entries are filtered before the median is taken.
+  EXPECT_EQ(MedianDelay({kUnreachable, Seconds(9), kUnreachable, Seconds(1), Seconds(5)}),
+            Seconds(5));
+  EXPECT_EQ(MedianDelay({kUnreachable, kUnreachable}), kUnreachable);
 }
 
 TEST(ExecutionModelTest, ScalesWithVcpus) {

@@ -284,5 +284,75 @@ TEST(NetworkTest, GeoBroadcastSlowerThanLan) {
   EXPECT_GT(wan_max, 10.0 * lan_max);
 }
 
+// --- semantics locks for the broadcast tree ---------------------------------
+// A broadcast is a fanout-limited dissemination tree: each relay forwards to
+// its next `fanout` targets, serialising one transmission slot per child
+// (slot k costs (k+1) transmission delays), and children relay from their own
+// arrival instant. With zero jitter in a single region every link is
+// identical, so the multiset of arrival times is a pure function of the tree
+// shape — a rewrite that changes expansion order or slot accounting fails.
+
+TEST(NetworkTest, BroadcastTreeShapeSingleRegionLock) {
+  Simulation sim(11);
+  Network net(&sim, /*jitter_frac=*/0.0);
+  std::vector<HostId> hosts;
+  for (int i = 0; i < 13; ++i) {
+    hosts.push_back(net.AddHost(Region::kOhio));
+  }
+  const int64_t bytes = 50000;
+  const SimDuration p = net.DelaySample(hosts[0], hosts[1], 0);
+  const SimDuration t = net.DelaySample(hosts[0], hosts[1], bytes) - p;
+  ASSERT_GT(p, 0);
+  ASSERT_GT(t, 0);
+
+  auto delays = net.BroadcastDelays(hosts[0], hosts, bytes, /*fanout=*/3);
+  ASSERT_EQ(delays.size(), hosts.size());
+  EXPECT_EQ(delays[0], 0);
+
+  // Origin feeds 3 children at p+kt; each of those relays to 3 more from its
+  // own ready time, so depth-2 arrivals are 2p + (parent_slot + k)t.
+  std::vector<SimDuration> expected = {
+      p + 1 * t, p + 2 * t, p + 3 * t,
+      2 * p + 2 * t, 2 * p + 3 * t, 2 * p + 3 * t,
+      2 * p + 4 * t, 2 * p + 4 * t, 2 * p + 4 * t,
+      2 * p + 5 * t, 2 * p + 5 * t, 2 * p + 6 * t};
+  std::vector<SimDuration> actual(delays.begin() + 1, delays.end());
+  std::sort(actual.begin(), actual.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(NetworkTest, BroadcastFanoutBelowOneBecomesChain) {
+  Simulation sim(11);
+  Network net(&sim, 0.0);
+  std::vector<HostId> hosts;
+  for (int i = 0; i < 3; ++i) {
+    hosts.push_back(net.AddHost(Region::kOhio));
+  }
+  const int64_t bytes = 50000;
+  const SimDuration p = net.DelaySample(hosts[0], hosts[1], 0);
+  const SimDuration t = net.DelaySample(hosts[0], hosts[1], bytes) - p;
+  const auto delays = net.BroadcastDelays(hosts[0], hosts, bytes, /*fanout=*/0);
+  std::vector<SimDuration> actual(delays.begin() + 1, delays.end());
+  std::sort(actual.begin(), actual.end());
+  const std::vector<SimDuration> expected = {p + t, 2 * p + 2 * t};
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(NetworkTest, BroadcastDeterministicPerSeed) {
+  const DeploymentConfig devnet = GetDeployment("devnet");
+  auto run = [&](uint64_t seed) {
+    Simulation sim(seed);
+    Network net(&sim);
+    std::vector<HostId> hosts;
+    for (int i = 0; i < devnet.node_count; ++i) {
+      hosts.push_back(net.AddHost(devnet.NodeRegion(i)));
+    }
+    return net.BroadcastDelays(hosts[0], hosts, 20000, 3);
+  };
+  EXPECT_EQ(run(21), run(21));
+  EXPECT_NE(run(21), run(22));
+}
+
 }  // namespace
 }  // namespace diablo

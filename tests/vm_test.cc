@@ -560,5 +560,323 @@ TEST(VmStatusTest, Names) {
   EXPECT_TRUE(IsFailure(VmStatus::kReverted));
 }
 
+// --- semantics locks for the dispatch loop ----------------------------------
+// These pin edge-case behaviour of the byte interpreter — check ordering,
+// failure statuses, exact gas/op accounting, and the self-modifying-control-
+// flow quirks raw bytecode can reach — so a pre-decoded dispatch rewrite must
+// reproduce them bit for bit.
+
+Program RawProgram(std::vector<uint8_t> code) {
+  Program program;
+  program.name = "raw";
+  program.code = std::move(code);
+  program.functions.push_back(FunctionEntry{"main", 0});
+  return program;
+}
+
+constexpr uint8_t Raw(Opcode op) { return static_cast<uint8_t>(op); }
+
+TEST(VmSemanticsLock, DivModCheckUnderflowBeforeZeroDivisor) {
+  // With one element the need(2) check fires before the zero-divisor check.
+  EXPECT_EQ(RunVm(MustAssemble(".func f\n  push 0\n  div\n"), "f").status,
+            VmStatus::kStackUnderflow);
+  EXPECT_EQ(RunVm(MustAssemble(".func f\n  push 0\n  mod\n"), "f").status,
+            VmStatus::kStackUnderflow);
+  const ExecResult div0 = RunVm(MustAssemble(".func f\n  push 1\n  push 0\n  div\n"), "f");
+  EXPECT_EQ(div0.status, VmStatus::kDivisionByZero);
+  EXPECT_EQ(div0.ops_executed, 3);
+  EXPECT_EQ(div0.gas_used, LimitsOf(VmDialect::kGeth).intrinsic_gas +
+                               2 * OpcodeGas(Opcode::kPush) + OpcodeGas(Opcode::kDiv));
+}
+
+TEST(VmSemanticsLock, FailingOpStillChargesGasAndOps) {
+  // Gas and op accounting happen before the operation executes, so a failing
+  // op is itself charged.
+  const ExecResult result = RunVm(MustAssemble(".func f\n  pop\n"), "f");
+  EXPECT_EQ(result.status, VmStatus::kStackUnderflow);
+  EXPECT_EQ(result.ops_executed, 1);
+  EXPECT_EQ(result.gas_used,
+            LimitsOf(VmDialect::kGeth).intrinsic_gas + OpcodeGas(Opcode::kPop));
+}
+
+TEST(VmSemanticsLock, JumpToCodeSizeIsCleanStopBeyondIsInvalid) {
+  // push 5; jump <target>  — 14 code bytes total. Target == code.size() is a
+  // legal jump that falls off the end (clean stop); one past is invalid.
+  std::vector<uint8_t> code = {Raw(Opcode::kPush), 5, 0, 0, 0, 0, 0, 0, 0,
+                               Raw(Opcode::kJump), 14, 0, 0, 0};
+  const ExecResult off_end = RunVm(RawProgram(code), "main");
+  EXPECT_EQ(off_end.status, VmStatus::kOk);
+  EXPECT_EQ(off_end.return_value, 0);  // never reached a return
+  EXPECT_EQ(off_end.ops_executed, 2);
+  EXPECT_EQ(off_end.gas_used, LimitsOf(VmDialect::kGeth).intrinsic_gas +
+                                  OpcodeGas(Opcode::kPush) + OpcodeGas(Opcode::kJump));
+  code[10] = 15;
+  EXPECT_EQ(RunVm(RawProgram(code), "main").status, VmStatus::kInvalidJump);
+}
+
+TEST(VmSemanticsLock, JumpIValidatesTargetOnlyWhenTaken) {
+  // push c; jumpi 255 — the wild target only matters when the branch fires.
+  std::vector<uint8_t> code = {Raw(Opcode::kPush), 0, 0, 0, 0, 0, 0, 0, 0,
+                               Raw(Opcode::kJumpI), 255, 0, 0, 0};
+  EXPECT_EQ(RunVm(RawProgram(code), "main").status, VmStatus::kOk);
+  code[1] = 1;
+  EXPECT_EQ(RunVm(RawProgram(code), "main").status, VmStatus::kInvalidJump);
+}
+
+TEST(VmSemanticsLock, MisalignedJumpReinterpretsImmediateBytes) {
+  // Jumping into the middle of a push immediate re-decodes those bytes as
+  // instructions: byte 1 (the immediate's LSB, 30) is kReturn, which returns
+  // the previously pushed value.
+  ASSERT_EQ(static_cast<uint8_t>(Opcode::kReturn), 30);
+  const std::vector<uint8_t> code = {Raw(Opcode::kPush), 30, 0, 0, 0, 0, 0, 0, 0,
+                                     Raw(Opcode::kJump), 1, 0, 0, 0};
+  const ExecResult result = RunVm(RawProgram(code), "main");
+  EXPECT_EQ(result.status, VmStatus::kOk);
+  EXPECT_EQ(result.return_value, 30);
+  EXPECT_EQ(result.ops_executed, 3);
+}
+
+TEST(VmSemanticsLock, TruncatedImmediateAndUnknownOpcodeAreInvalid) {
+  // A push with no immediate bytes, a jump with a short immediate, and an
+  // out-of-range opcode byte all fail with kInvalidOpcode before executing.
+  EXPECT_EQ(RunVm(RawProgram({Raw(Opcode::kPush)}), "main").status,
+            VmStatus::kInvalidOpcode);
+  EXPECT_EQ(RunVm(RawProgram({Raw(Opcode::kJump), 0}), "main").status,
+            VmStatus::kInvalidOpcode);
+  EXPECT_EQ(RunVm(RawProgram({200}), "main").status, VmStatus::kInvalidOpcode);
+  // Decode failures are detected before accounting, so nothing is charged
+  // beyond the intrinsic gas.
+  const ExecResult result = RunVm(RawProgram({Raw(Opcode::kPush)}), "main");
+  EXPECT_EQ(result.ops_executed, 0);
+  EXPECT_EQ(result.gas_used, LimitsOf(VmDialect::kGeth).intrinsic_gas);
+}
+
+TEST(VmSemanticsLock, SstoreBytesGasAccounting) {
+  const Program program = MustAssemble(R"(
+.func f
+  push 40
+  arg 0
+  sstoreb
+  stop
+)");
+  const int64_t base = LimitsOf(VmDialect::kGeth).intrinsic_gas +
+                       OpcodeGas(Opcode::kPush) + OpcodeGas(Opcode::kArg) +
+                       OpcodeGas(Opcode::kSstoreBytes);
+  ContractState state;
+  const ExecResult ten = RunVm(program, "f", {10}, &state);
+  EXPECT_EQ(ten.status, VmStatus::kOk);
+  EXPECT_EQ(ten.gas_used, base + kGasPerStoredByte * 10);
+  // Negative byte counts charge nothing per byte.
+  const ExecResult negative = RunVm(program, "f", {-5}, &state);
+  EXPECT_EQ(negative.status, VmStatus::kOk);
+  EXPECT_EQ(negative.gas_used, base);
+  // The per-byte surcharge is re-checked against the gas limit immediately:
+  // a limit that covers the flat costs but not the bytes fails out-of-gas.
+  const ExecResult capped = RunVm(program, "f", {1000}, &state, VmDialect::kGeth,
+                                  /*gas_limit=*/base + kGasPerStoredByte * 1000 - 1);
+  EXPECT_EQ(capped.status, VmStatus::kOutOfGas);
+  EXPECT_EQ(capped.gas_used, base + kGasPerStoredByte * 1000);
+}
+
+// --- decoded-vs-byte dispatch agreement -------------------------------------
+// The assembler attaches a pre-decoded instruction table and Execute dispatches
+// through it; stripping the table forces the byte-decoding reference path.
+// Every observable field must agree between the two.
+
+ExecResult RunForced(Program program, bool use_decoded, std::string_view function,
+                     std::vector<int64_t> args = {}, ContractState* state = nullptr,
+                     VmDialect dialect = VmDialect::kGeth, int64_t gas_limit = 0) {
+  if (use_decoded) {
+    program.Predecode();
+  } else {
+    program.decoded.clear();
+  }
+  return RunVm(program, function, std::move(args), state, dialect, gas_limit);
+}
+
+void ExpectBothPathsAgree(const std::string& source, std::vector<int64_t> args,
+                          VmDialect dialect, int64_t gas_limit = 0) {
+  const Program program = MustAssemble(source);
+  ContractState byte_state;
+  ContractState decoded_state;
+  const ExecResult byte_result =
+      RunForced(program, false, "f", args, &byte_state, dialect, gas_limit);
+  const ExecResult decoded_result =
+      RunForced(program, true, "f", args, &decoded_state, dialect, gas_limit);
+  EXPECT_EQ(byte_result.status, decoded_result.status) << source;
+  EXPECT_EQ(byte_result.gas_used, decoded_result.gas_used) << source;
+  EXPECT_EQ(byte_result.ops_executed, decoded_result.ops_executed) << source;
+  EXPECT_EQ(byte_result.return_value, decoded_result.return_value) << source;
+  EXPECT_EQ(byte_result.events_emitted, decoded_result.events_emitted) << source;
+  EXPECT_EQ(byte_state.entry_count(), decoded_state.entry_count()) << source;
+  EXPECT_EQ(byte_state.total_blob_bytes(), decoded_state.total_blob_bytes()) << source;
+  for (uint64_t key = 0; key < 64; ++key) {
+    EXPECT_EQ(byte_state.Load(key), decoded_state.Load(key)) << source << " key " << key;
+  }
+}
+
+TEST(VmDecodedAgreement, AssembledProgramsMatch) {
+  const std::string programs[] = {
+      // Loop with jumps, memory, and comparisons.
+      R"(
+.func f
+  push 0
+  push 0
+  mstore
+  push 0
+loop:
+  dup 0
+  arg 0
+  ge
+  jumpi end
+  push 0
+  mload
+  dup 1
+  add
+  push 0
+  swap 1
+  mstore
+  push 1
+  add
+  jump loop
+end:
+  push 0
+  mload
+  return
+)",
+      // Storage round-trip with journal-visible reads.
+      R"(
+.func f
+  push 7
+  arg 0
+  sstore
+  push 7
+  sload
+  push 2
+  mul
+  push 8
+  swap 1
+  sstore
+  push 8
+  sload
+  return
+)",
+      // Subroutine call, events, caller and argcount.
+      R"(
+.func f
+  caller
+  argcount
+  emit 2
+  call helper
+  return
+.func helper
+  arg 0
+  arg 1
+  add
+  ret
+)",
+      // Blob store plus revert on a flag.
+      R"(
+.func f
+  push 40
+  arg 0
+  sstoreb
+  arg 1
+  jumpi bad
+  push 1
+  return
+bad:
+  revert
+)",
+      // Division and failure paths.
+      R"(
+.func f
+  arg 0
+  arg 1
+  div
+  return
+)",
+  };
+  const VmDialect dialects[] = {VmDialect::kGeth, VmDialect::kAvm, VmDialect::kMoveVm,
+                                VmDialect::kEbpf};
+  const std::vector<int64_t> arg_sets[] = {{0, 0}, {5, 1}, {100, 3}, {1024, 0}, {-5, -1}};
+  for (const std::string& source : programs) {
+    for (const VmDialect dialect : dialects) {
+      for (const std::vector<int64_t>& args : arg_sets) {
+        ExpectBothPathsAgree(source, args, dialect);
+      }
+    }
+  }
+}
+
+TEST(VmDecodedAgreement, GasLimitEdgesMatch) {
+  const std::string source = R"(
+.func f
+  push 40
+  arg 0
+  sstoreb
+  push 1
+  emit 1
+  stop
+)";
+  // Sweep limits across every charge point so both paths run out of gas (or
+  // don't) at exactly the same instruction.
+  for (int64_t limit = 21000; limit < 21100; ++limit) {
+    ExpectBothPathsAgree(source, {128}, VmDialect::kGeth, limit);
+  }
+  for (int64_t limit : {int64_t{23000}, int64_t{23047}, int64_t{23048}, int64_t{23049}}) {
+    ExpectBothPathsAgree(source, {128}, VmDialect::kGeth, limit);
+  }
+}
+
+TEST(VmDecodedAgreement, RawEdgeCasesMatch) {
+  const std::vector<std::vector<uint8_t>> cases = {
+      {Raw(Opcode::kPush), 5, 0, 0, 0, 0, 0, 0, 0, Raw(Opcode::kJump), 14, 0, 0, 0},
+      {Raw(Opcode::kPush), 5, 0, 0, 0, 0, 0, 0, 0, Raw(Opcode::kJump), 15, 0, 0, 0},
+      {Raw(Opcode::kPush), 30, 0, 0, 0, 0, 0, 0, 0, Raw(Opcode::kJump), 1, 0, 0, 0},
+      {Raw(Opcode::kPush), 0, 0, 0, 0, 0, 0, 0, 0, Raw(Opcode::kJumpI), 255, 0, 0, 0},
+      {Raw(Opcode::kPush)},
+      {Raw(Opcode::kJump), 0},
+      {200},
+      {Raw(Opcode::kCall), 3, 0, 0, 0},  // call past the end: invalid
+      {Raw(Opcode::kRet)},
+      {},
+  };
+  for (const std::vector<uint8_t>& code : cases) {
+    const Program program = RawProgram(code);
+    const ExecResult byte_result = RunForced(program, false, "main");
+    const ExecResult decoded_result = RunForced(program, true, "main");
+    EXPECT_EQ(byte_result.status, decoded_result.status);
+    EXPECT_EQ(byte_result.gas_used, decoded_result.gas_used);
+    EXPECT_EQ(byte_result.ops_executed, decoded_result.ops_executed);
+    EXPECT_EQ(byte_result.return_value, decoded_result.return_value);
+  }
+}
+
+TEST(VmDecodedAgreement, AssemblerAttachesDecodedTable) {
+  const Program program = MustAssemble(".func f\n  push 42\n  return\n");
+  ASSERT_EQ(program.decoded.size(), program.code.size() + 1);
+  EXPECT_EQ(program.decoded.back().kind, DecodedInsn::kEnd);
+  // push at offset 0: operand and fall-through resolved at assembly time.
+  EXPECT_EQ(program.decoded[0].kind, DecodedInsn::kOp);
+  EXPECT_EQ(program.decoded[0].imm, 42);
+  EXPECT_EQ(program.decoded[0].next, 9u);
+}
+
+TEST(VmSemanticsLock, MemoryAddressRangeBoundary) {
+  // Addresses up to kMaxMemoryWords-1 read as zero; the first out-of-range
+  // address fails with the (historical) kInvalidJump status.
+  const Program program = MustAssemble(R"(
+.func f
+  arg 0
+  mload
+  return
+)");
+  const ExecResult in_range = RunVm(program, "f", {4095});
+  EXPECT_EQ(in_range.status, VmStatus::kOk);
+  EXPECT_EQ(in_range.return_value, 0);
+  EXPECT_EQ(RunVm(program, "f", {4096}).status, VmStatus::kInvalidJump);
+}
+
 }  // namespace
 }  // namespace diablo
