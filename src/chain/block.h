@@ -12,6 +12,7 @@
 
 #include "src/chain/tx.h"
 #include "src/crypto/sha256.h"
+#include "src/support/check.h"
 #include "src/support/time.h"
 
 namespace diablo {
@@ -58,6 +59,12 @@ class Ledger {
  private:
   std::vector<Block> blocks_;
   size_t total_txs_ = 0;
+  // Checked build: a parent-hash chain over the appended headers. Append
+  // extends it incrementally; on a sampled cadence the whole chain is
+  // re-derived from the stored blocks and compared, so any retroactive edit
+  // of the header fields (or an out-of-order append the height check missed)
+  // breaks the link.
+  DIABLO_CHECKED_ONLY(Digest256 head_digest_{}; uint64_t append_tick_ = 0;)
 };
 
 }  // namespace diablo

@@ -110,6 +110,7 @@ AdmitResult Mempool::Add(TxId id, uint32_t signer, SimTime ingress_time,
   }
   ++live_count_;
   ++admitted_;
+  CheckConsistencySampled();
   return AdmitResult::kAdmitted;
 }
 
@@ -166,6 +167,48 @@ void Mempool::Requeue(const std::vector<TxId>& txs, const std::vector<uint32_t>&
     }
     ++live_count_;
   }
+  CheckConsistencySampled();
 }
+
+#if defined(DIABLO_CHECKED)
+namespace {
+// One full table scan every 1024 pool operations: frequent enough that a
+// bookkeeping bug trips within the block it was introduced, cheap enough
+// that checked ctest runs stay interactive.
+constexpr uint64_t kCheckCadence = 1024;
+}  // namespace
+
+void Mempool::CheckConsistencySampled() {
+  if (++check_tick_ % kCheckCadence == 0) {
+    CheckConsistency();
+  }
+}
+
+void Mempool::CheckConsistency() const {
+  size_t live = 0;
+  size_t zombie = 0;
+  for (const uint8_t s : state_) {
+    live += s == kLive;
+    zombie += s == kZombie;
+  }
+  DIABLO_CHECK(live == live_count_,
+               "mempool live_count_ disagrees with the lifecycle table");
+  DIABLO_CHECK(heap_.size() == live + zombie,
+               "mempool heap entries must map 1:1 onto live and zombie ids");
+  for (const HeapEntry& entry : heap_) {
+    DIABLO_CHECK(static_cast<size_t>(entry.id) < state_.size() &&
+                     state_[entry.id] != kGone,
+                 "mempool heap entry refers to an id that already left the pool");
+  }
+  if (config_.per_signer_cap > 0) {
+    size_t signer_total = 0;
+    for (const uint32_t count : signer_counts_) {
+      signer_total += count;
+    }
+    DIABLO_CHECK(signer_total == live_count_,
+                 "mempool per-signer counts must sum to the live count");
+  }
+}
+#endif
 
 }  // namespace diablo

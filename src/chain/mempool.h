@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/chain/tx.h"
+#include "src/support/check.h"
 #include "src/support/rng.h"
 #include "src/support/time.h"
 
@@ -159,6 +160,17 @@ class Mempool {
   TxId EvictRandom();
   void CompactRingIfNeeded();
 
+  // Checked build: full cross-check of the SoA side tables — live_count_
+  // equals the number of kLive lifecycle bytes, the signer count vector sums
+  // back to it, and every heap entry still refers to a live or zombie id.
+  // O(table size), so sampled on a per-pool op cadence; a no-op otherwise.
+#if defined(DIABLO_CHECKED)
+  void CheckConsistencySampled();
+  void CheckConsistency() const;
+#else
+  void CheckConsistencySampled() {}
+#endif
+
   MempoolConfig config_;
   Rng* rng_;
   std::vector<HeapEntry> heap_;
@@ -174,6 +186,7 @@ class Mempool {
   uint64_t admitted_ = 0;
   uint64_t rejected_ = 0;
   uint64_t evictions_ = 0;
+  DIABLO_CHECKED_ONLY(uint64_t check_tick_ = 0;)
 };
 
 template <typename GasFn, typename BytesFn, typename TakenOut, typename ExpiredOut>
@@ -220,6 +233,7 @@ void Mempool::TakeReady(SimTime now, int64_t gas_budget, int64_t byte_budget,
     ++taken_count;
     RemoveHead(top.id);
   }
+  CheckConsistencySampled();
 }
 
 template <typename GasFn, typename BytesFn>

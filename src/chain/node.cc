@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/support/check.h"
+
 namespace diablo {
 
 ChainContext::ChainContext(Simulation* sim, Network* net, DeploymentConfig deployment,
@@ -94,6 +96,9 @@ void ChainContext::AbandonBlock(const BuiltBlock& built, SimTime now) {
   if (built.tx_count == 0) {
     return;
   }
+  DIABLO_CHECK(static_cast<size_t>(built.tx_begin) + built.tx_count <=
+                   block_txs_.size(),
+               "abandoned block's (tx_begin, tx_count) range escapes the block-tx pool");
   abandon_ids_.clear();
   abandon_signers_.clear();
   abandon_ingress_.clear();
@@ -152,6 +157,8 @@ ChainContext::BuiltBlock ChainContext::BuildBlock(SimTime now, int proposer) {
       [bytes_table](TxId id) { return static_cast<int64_t>(bytes_table[id]); },
       &block_txs_, &expired);
   built.tx_count = static_cast<uint32_t>(block_txs_.size()) - built.tx_begin;
+  DIABLO_CHECK(built.tx_count <= max_txs,
+               "TakeReady returned more transactions than the block's cap");
   for (const TxId id : expired) {
     ++stats_.txs_expired;
     DropTx(id);
@@ -199,6 +206,11 @@ void ChainContext::FinalizeBlock(uint64_t height, int proposer, BuiltBlock&& bui
   if (built.tx_count == 0) {
     ++stats_.empty_blocks;
   }
+  DIABLO_CHECK(static_cast<size_t>(built.tx_begin) + built.tx_count <=
+                   block_txs_.size(),
+               "finalized block's (tx_begin, tx_count) range escapes the block-tx pool");
+  DIABLO_CHECK(final_time >= proposed_at,
+               "a block cannot finalize before it was proposed");
 
   Block block;
   block.height = height;

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(DIABLO_CHECKED)
+#include <atomic>
+#endif
+
+#include "src/support/check.h"
 #include "src/support/profile.h"
 
 namespace diablo {
@@ -181,6 +186,29 @@ WindowedScan ScanArrivalsWindowed(const PairwiseDelays& delays,
   return scan;
 }
 
+#if defined(DIABLO_CHECKED)
+// Sampled cross-check of the adaptive-window selector: the carried hints are
+// pure accelerators, so every answer must equal a from-scratch nth_element
+// over a fresh arrival scan. The tick is process-wide (cells run on worker
+// threads in parallel sweeps), relaxed, and never feeds back into results,
+// so a nondeterministic sampling pattern is harmless. 257 is prime to avoid
+// phase-locking with common validator counts.
+std::atomic<uint64_t> g_select_tick{0};
+constexpr uint64_t kSelectCheckCadence = 257;
+
+void CheckQuorumSelection(const PairwiseDelays& delays,
+                          const std::vector<SimDuration>& send_times, size_t receiver,
+                          double hop_scale, size_t k, SimDuration got) {
+  std::vector<SimDuration> ref(send_times.size());
+  const size_t cnt = ScanArrivals(delays, send_times, receiver, hop_scale, ref.data());
+  DIABLO_CHECK(k < cnt, "selection rank escaped the reachable arrival set");
+  ref.resize(cnt);
+  std::nth_element(ref.begin(), ref.begin() + static_cast<long>(k), ref.end());
+  DIABLO_CHECK(ref[k] == got,
+               "windowed quorum selection disagrees with nth_element reference");
+}
+#endif
+
 }  // namespace
 
 PairwiseDelays::PairwiseDelays(Network* net, const std::vector<HostId>& hosts,
@@ -221,8 +249,15 @@ SimDuration QuorumArrivalInto(const PairwiseDelays& delays,
   if (cnt < quorum) {
     return kUnreachable;
   }
-  return WindowSelect(scratch->buf.data(), cnt, quorum - 1, scratch->win.data(),
-                      scratch->quorum_hint[hint_slot]);
+  const SimDuration selected =
+      WindowSelect(scratch->buf.data(), cnt, quorum - 1, scratch->win.data(),
+                   scratch->quorum_hint[hint_slot]);
+#if defined(DIABLO_CHECKED)
+  if (g_select_tick.fetch_add(1, std::memory_order_relaxed) % kSelectCheckCadence == 0) {
+    CheckQuorumSelection(delays, send_times, receiver, hop_scale, quorum - 1, selected);
+  }
+#endif
+  return selected;
 }
 
 std::vector<SimDuration> QuorumArrivalAll(const PairwiseDelays& delays,
@@ -298,6 +333,20 @@ void QuorumArrivalAllInto(const PairwiseDelays& delays,
     hint.valid = false;
     out[receiver] = SelectFallback(buf, cnt, k, hint);
   }
+#if defined(DIABLO_CHECKED)
+  // Second pass so every assignment path above (windowed hit, widened retry,
+  // insertion select, fallback) funnels through one reference comparison.
+  for (size_t receiver = 0; receiver < n; ++receiver) {
+    if (out[receiver] == kUnreachable) {
+      continue;
+    }
+    if (g_select_tick.fetch_add(1, std::memory_order_relaxed) % kSelectCheckCadence !=
+        0) {
+      continue;
+    }
+    CheckQuorumSelection(delays, send_times, receiver, hop_scale, k, out[receiver]);
+  }
+#endif
 }
 
 double GossipHopScale(int n) {
@@ -331,7 +380,24 @@ SimDuration MedianDelayInto(const std::vector<SimDuration>& delays,
   if (cnt == 0) {
     return kUnreachable;
   }
-  return WindowSelect(buf, cnt, cnt / 2, scratch->win.data(), scratch->median_hint);
+  const SimDuration median =
+      WindowSelect(buf, cnt, cnt / 2, scratch->win.data(), scratch->median_hint);
+#if defined(DIABLO_CHECKED)
+  if (g_select_tick.fetch_add(1, std::memory_order_relaxed) % kSelectCheckCadence == 0) {
+    std::vector<SimDuration> ref;
+    ref.reserve(delays.size());
+    for (const SimDuration d : delays) {
+      if (d != kUnreachable) {
+        ref.push_back(d);
+      }
+    }
+    std::nth_element(ref.begin(), ref.begin() + static_cast<long>(ref.size() / 2),
+                     ref.end());
+    DIABLO_CHECK(ref[ref.size() / 2] == median,
+                 "windowed median disagrees with nth_element reference");
+  }
+#endif
+  return median;
 }
 
 }  // namespace diablo

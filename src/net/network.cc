@@ -6,6 +6,7 @@
 #include <limits>
 #include <utility>
 
+#include "src/support/check.h"
 #include "src/support/profile.h"
 
 namespace diablo {
@@ -42,7 +43,11 @@ SimDuration Network::DelaySample(HostId from, HostId to, int64_t bytes) {
   const double jitter_scale = jitter_frac_ * std::abs(rng_.NextGaussian(0.0, 1.0));
   const SimDuration jitter =
       static_cast<SimDuration>(static_cast<double>(prop) * jitter_scale);
-  return prop + trans + jitter + ExtraDelay(a, b);
+  const SimDuration delay = prop + trans + jitter + ExtraDelay(a, b);
+  // |jitter| and extra delays are non-negative, so a negative sample can only
+  // mean arithmetic overflow — which would reorder deliveries silently.
+  DIABLO_CHECK(delay >= 0, "sampled link delay went negative (overflow?)");
+  return delay;
 }
 
 void Network::FillPairwiseDelays(const std::vector<HostId>& hosts,

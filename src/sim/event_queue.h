@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/sim/event_fn.h"
+#include "src/support/check.h"
 #include "src/support/time.h"
 
 namespace diablo {
@@ -57,6 +58,11 @@ class EventQueue {
 
   std::vector<Entry> heap_;
   uint64_t next_seq_ = 0;
+  // Checked build: the (time, seq) total order must come out of Pop
+  // monotonically — any heap bug that reorders events shows up as a
+  // nonmonotone pop long before it shows up as wrong golden output.
+  DIABLO_CHECKED_ONLY(SimTime last_pop_time_ = 0; uint64_t last_pop_seq_ = 0;
+                      bool popped_any_ = false;)
 };
 
 }  // namespace diablo

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/support/check.h"
 #include "src/support/profile.h"
 
 namespace diablo {
@@ -27,6 +28,7 @@ uint64_t Simulation::RunUntil(SimTime until) {
     }
     SimTime time = 0;
     EventFn fn = queue_.Pop(&time);
+    DIABLO_CHECK(time >= now_, "simulated time ran backwards");
     now_ = time;
     fn();
     ++executed;

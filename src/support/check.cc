@@ -1,0 +1,17 @@
+#include "src/support/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace diablo {
+
+void CheckFailed(const char* file, int line, const char* expr, const char* msg) {
+  // stderr, never stdout: a failing run may be mid-report, and the byte
+  // identity of whatever already reached stdout still matters for triage.
+  std::fprintf(stderr, "DIABLO_CHECK failed at %s:%d: %s — %s\n", file, line, expr,
+               msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace diablo

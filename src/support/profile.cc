@@ -15,10 +15,12 @@ std::atomic<uint64_t> g_sends{0};
 std::atomic<uint64_t> g_vote_rounds{0};
 std::atomic<uint64_t> g_vm_ops{0};
 
+// detlint: allow(D2, profiling layer: wall time feeds only the stderr summary, never simulation state)
 const std::chrono::steady_clock::time_point g_start = std::chrono::steady_clock::now();
 
 void PrintSummary() {
   const double wall =
+      // detlint: allow(D2, profiling layer: wall time feeds only the stderr summary, never simulation state)
       std::chrono::duration<double>(std::chrono::steady_clock::now() - g_start).count();
   std::fprintf(stderr,
                "[profile] events=%" PRIu64 " net_sends=%" PRIu64 " vote_rounds=%" PRIu64

@@ -8,6 +8,8 @@
 
 #include "src/config/spec.h"
 #include "src/core/primary.h"
+#include "src/crypto/sha256.h"
+#include "src/support/check.h"
 #include "src/workload/trace.h"
 
 namespace diablo {
@@ -106,6 +108,29 @@ TEST(ShippedConfigTest, FaultWorkloadRunsEndToEnd) {
   EXPECT_GE(result.report.recoveries[0], 0.0);
   EXPECT_GE(result.report.recoveries[1], 0.0);
   EXPECT_GE(result.report.recoveries[2], 0.0);
+}
+
+TEST(ShippedConfigTest, CheckedBuildDoesNotPerturbResults) {
+  // The DIABLO_CHECKED invariants must be pure observers: the rendered
+  // report of a reference run hashes to the same constant whether or not the
+  // checks are compiled in. The constant below was produced by an unchecked
+  // build; a checked build runs this same test and must reproduce it, so any
+  // check that draws from an Rng, reorders events, or mutates state breaks
+  // this test in exactly one of the two CI configurations.
+  const SpecResult spec =
+      ParseWorkloadSpec(ReadFile(ConfigPath("workload-native-10.yaml")));
+  ASSERT_TRUE(spec.ok) << spec.error;
+  BenchmarkSetup setup;
+  setup.chain = "algorand";
+  setup.deployment = "testnet";
+  Primary primary(setup);
+  const RunResult result = primary.RunSpec(spec.spec);
+  ASSERT_TRUE(result.failure_reason.empty()) << result.failure_reason;
+  const std::string digest = DigestHex(Sha256Digest(result.report.ToText()));
+  EXPECT_EQ(digest,
+            "16762a2d6fbb8831afb6a26fa8f5aa674d0bae17977deffd7edafa931feed26c")
+      << "report text changed; if intentional, update the golden hash "
+         "(kCheckedBuild=" << kCheckedBuild << ")";
 }
 
 TEST(TraceCsvTest, RoundTrip) {

@@ -1,0 +1,18 @@
+// detlint fixture: rule D1 — iteration over unordered containers.
+#include <unordered_map>
+#include <string>
+
+int SumValues() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  for (const auto& entry : counts) {
+    total += entry.second;
+  }
+  auto it = counts.begin();
+  (void)it;
+  // detlint: allow(D1, fixture: order is folded through a commutative max)
+  for (const auto& entry : counts) {
+    total = total > entry.second ? total : entry.second;
+  }
+  return total;
+}

@@ -1,0 +1,19 @@
+// detlint fixture: rule D2 — wall-clock and libc entropy sources.
+#include <chrono>
+#include <cstdlib>
+
+long NowNanos() {
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+int LibcDraw() {
+  int draw = rand();
+  return draw;
+}
+
+long Stamp() {
+  // detlint: allow(D2, fixture: profiling-only wall time)
+  auto t = std::chrono::system_clock::now();
+  return t.time_since_epoch().count();
+}

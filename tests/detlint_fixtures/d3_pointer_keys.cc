@@ -1,0 +1,15 @@
+// detlint fixture: rule D3 — pointer-valued keys and address-derived order.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+struct Node {};
+
+std::map<Node*, int> g_ranks;
+
+uint64_t AddressKey(const Node* node) {
+  return reinterpret_cast<uint64_t>(node);
+}
+
+// detlint: allow(D3, fixture: keyed for lifetime tracking only, never iterated or ordered)
+std::unordered_map<Node*, int> g_lifetimes;

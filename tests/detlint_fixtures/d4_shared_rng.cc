@@ -1,0 +1,26 @@
+// detlint fixture: rule D4 — draws from RNG streams that may be shared.
+#include "src/support/rng.h"
+
+using diablo::Rng;
+
+struct Engine {
+  Rng& rng();
+};
+
+unsigned long DrawShared(Engine* engine) {
+  unsigned long draw = engine->rng().NextU64();
+  return draw;
+}
+
+static Rng g_shared_rng(42);
+
+unsigned long DrawForked(diablo::ChainContext* ctx) {
+  unsigned long draw = ctx->rng().NextU64();  // allowlisted receiver: no finding
+  return draw;
+}
+
+unsigned long DrawSuppressed(Engine* engine) {
+  // detlint: allow(D4, fixture: single-threaded tool with a fixed draw order)
+  unsigned long draw = engine->rng().NextU64();
+  return draw;
+}

@@ -1,0 +1,22 @@
+// detlint fixture: rule D5 — FP accumulation without a fixed reduction order.
+#include <unordered_map>
+
+double MeanLatency() {
+  std::unordered_map<int, double> samples;
+  double total = 0.0;
+  for (const auto& entry : samples) {
+    total += entry.second;
+  }
+  return total;
+}
+
+double MeanSuppressed() {
+  std::unordered_map<int, double> samples;
+  double sum = 0.0;
+  // detlint: allow(D1, fixture: demonstration of a fully suppressed loop)
+  for (const auto& entry : samples) {
+    // detlint: allow(D5, fixture: values are all equal so order cannot matter)
+    sum += entry.second;
+  }
+  return sum;
+}

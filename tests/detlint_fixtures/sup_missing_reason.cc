@@ -1,0 +1,9 @@
+// detlint fixture: SUP — a suppression that carries no reason is itself a
+// finding, and it does not suppress anything.
+#include <cstdlib>
+
+int Draw() {
+  // detlint: allow(D2)
+  int draw = rand();
+  return draw;
+}

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <set>
 
+#include "src/support/check.h"
 #include "src/support/rng.h"
 #include "src/support/stats.h"
 #include "src/support/strings.h"
@@ -330,6 +331,34 @@ TEST(StringsTest, FormatJoinLower) {
   EXPECT_EQ(ToLower("AbC"), "abc");
   EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
   EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(CheckTest, PassingCheckIsSilentInEveryBuild) {
+  int evaluations = 0;
+  DIABLO_CHECK([&] {
+    ++evaluations;
+    return true;
+  }(), "a passing check must not fire");
+  if (kCheckedBuild) {
+    EXPECT_EQ(evaluations, 1);
+  } else {
+    // Unchecked builds must not even evaluate the condition.
+    EXPECT_EQ(evaluations, 0);
+  }
+}
+
+TEST(CheckTest, CheckedOnlyCodeCompilesOutOfUncheckedBuilds) {
+  int ticks = 0;
+  DIABLO_CHECKED_ONLY(++ticks;)
+  EXPECT_EQ(ticks, kCheckedBuild ? 1 : 0);
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsUnderCheckedBuild) {
+  if (!kCheckedBuild) {
+    GTEST_SKIP() << "checks compile to no-ops without DIABLO_CHECKED";
+  }
+  EXPECT_DEATH(DIABLO_CHECK(1 + 1 == 3, "arithmetic is broken"),
+               "DIABLO_CHECK failed.*arithmetic is broken");
 }
 
 }  // namespace

@@ -1,0 +1,97 @@
+// detlint CLI: lints C++ sources for determinism hazards (rules D1-D5, see
+// lint.h) and exits nonzero when unsuppressed findings remain.
+//
+// Usage: detlint [--quiet] [--exclude SUBSTR]... PATH...
+//   PATH        a file, or a directory scanned recursively for .h/.cc/.cpp
+//   --exclude   skip files whose path contains SUBSTR (repeatable); used to
+//               keep the deliberate-violation test fixtures out of the gate
+//   --quiet     print only the summary line
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/detlint/lint.h"
+
+namespace {
+
+bool HasSourceExtension(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::vector<std::string> excludes;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--exclude" && i + 1 < argc) {
+      excludes.push_back(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "detlint: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "usage: detlint [--quiet] [--exclude SUBSTR]... PATH...\n");
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(root, ec)) {
+      for (auto it = std::filesystem::recursive_directory_iterator(root, ec);
+           it != std::filesystem::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file(ec) && HasSourceExtension(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+    } else {
+      files.push_back(root);
+    }
+  }
+  // Directory iteration order is filesystem-dependent; a determinism linter
+  // should at least report deterministically.
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  size_t scanned = 0;
+  size_t suppressed = 0;
+  size_t unsuppressed = 0;
+  for (const std::string& file : files) {
+    bool skip = false;
+    for (const std::string& substr : excludes) {
+      if (file.find(substr) != std::string::npos) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) {
+      continue;
+    }
+    ++scanned;
+    const diablo::detlint::LintResult result = diablo::detlint::LintFile(file);
+    for (const diablo::detlint::Finding& finding : result.findings) {
+      if (finding.suppressed) {
+        ++suppressed;
+        continue;
+      }
+      ++unsuppressed;
+      if (!quiet) {
+        std::printf("%s\n", diablo::detlint::FormatFinding(finding).c_str());
+      }
+    }
+  }
+  std::printf("detlint: %zu file(s), %zu finding(s), %zu suppressed\n", scanned,
+              unsuppressed, suppressed);
+  return unsuppressed == 0 ? 0 : 1;
+}
