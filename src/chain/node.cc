@@ -13,14 +13,16 @@ ChainContext::ChainContext(Simulation* sim, Network* net, DeploymentConfig deplo
       deployment_(std::move(deployment)),
       params_(std::move(params)),
       rng_(sim->ForkRng()),
+      validators_(deployment_),
       oracle_(params_.dialect),
       mempool_(params_.mempool, &rng_) {
   hosts_.reserve(static_cast<size_t>(deployment_.node_count));
   for (int i = 0; i < deployment_.node_count; ++i) {
-    hosts_.push_back(net_->AddHost(deployment_.NodeRegion(i)));
+    hosts_.push_back(net_->AddHost(validators_.region(i)));
   }
-  // Pairwise delays for consensus votes (small fixed-size messages).
-  vote_delays_ = std::make_unique<PairwiseDelays>(net_, hosts_, /*message_bytes=*/256);
+  // Delay plane for consensus votes (small fixed-size messages): a dense
+  // matrix at paper scale, the streamed model at fig3-XL scale.
+  vote_delays_ = std::make_unique<VoteDelays>(net_, hosts_, /*message_bytes=*/256);
   exec_model_.gas_per_second_per_vcpu = params_.gas_per_sec_per_vcpu;
 }
 
@@ -77,18 +79,12 @@ bool ChainContext::SubmitAtEndpoint(TxId id, int endpoint, SimTime arrival,
 }
 
 void ChainContext::SetNodeDown(int node, bool down) {
-  if (down_nodes_.empty()) {
-    down_nodes_.assign(static_cast<size_t>(deployment_.node_count), 0);
-  }
-  down_nodes_[static_cast<size_t>(node)] = down ? 1 : 0;
+  validators_.SetDown(node, down);
   net_->SetPartitioned(hosts_[static_cast<size_t>(node)], down);
 }
 
 void ChainContext::SetCpuFactor(int node, double factor) {
-  if (cpu_factors_.empty()) {
-    cpu_factors_.assign(static_cast<size_t>(deployment_.node_count), 1.0);
-  }
-  cpu_factors_[static_cast<size_t>(node)] = factor;
+  validators_.SetCpuFactor(node, factor);
 }
 
 void ChainContext::AbandonBlock(const BuiltBlock& built, SimTime now) {
@@ -172,8 +168,8 @@ ChainContext::BuiltBlock ChainContext::BuildBlock(SimTime now, int proposer) {
   // Proposer work: scan of the pending set, block execution, signature
   // verification.
   built.build_time = PoolScanTime() + ExecAndVerifyTime(built.gas, built.tx_count);
-  if (!cpu_factors_.empty()) {
-    const double factor = cpu_factors_[static_cast<size_t>(proposer)];
+  if (validators_.AnyCpuOverride()) {
+    const double factor = validators_.CpuFactor(proposer);
     if (factor < 1.0) {
       built.build_time =
           static_cast<SimDuration>(static_cast<double>(built.build_time) / factor);

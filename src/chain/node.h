@@ -16,6 +16,7 @@
 #include "src/chain/execution.h"
 #include "src/chain/mempool.h"
 #include "src/chain/tx.h"
+#include "src/chain/validator_table.h"
 #include "src/chain/vote_round.h"
 #include "src/crypto/signature.h"
 #include "src/net/deployment.h"
@@ -116,7 +117,10 @@ class ChainContext {
   const ChainParams& params() const { return params_; }
   int node_count() const { return deployment_.node_count; }
   const std::vector<HostId>& hosts() const { return hosts_; }
-  const PairwiseDelays& vote_delays() const { return *vote_delays_; }
+  const VoteDelays& vote_delays() const { return *vote_delays_; }
+  // Packed per-validator state (region bytes, down bits, sparse CPU
+  // overrides) — O(n) bytes at any deployment size.
+  const ValidatorTable& validators() const { return validators_; }
   // Shared per-engine message-plane scratch: stage vectors, order-statistic
   // buffers and broadcast working memory, warm after the first round so
   // steady-state vote rounds allocate nothing.
@@ -159,9 +163,7 @@ class ChainContext {
   // network's pending set again immediately, with no replay of what it held
   // before the crash.
   void SetNodeDown(int node, bool down);
-  bool NodeDown(int node) const {
-    return !down_nodes_.empty() && down_nodes_[static_cast<size_t>(node)] != 0;
-  }
+  bool NodeDown(int node) const { return validators_.Down(node); }
 
   // Straggler injection: `factor` in (0, 1] scales the node's CPU speed, so
   // its proposer-side block preparation takes 1/factor as long.
@@ -227,7 +229,8 @@ class ChainContext {
   ChainParams params_;
   Rng rng_;
   std::vector<HostId> hosts_;
-  std::unique_ptr<PairwiseDelays> vote_delays_;
+  ValidatorTable validators_;
+  std::unique_ptr<VoteDelays> vote_delays_;
   CostOracle oracle_;
   TxStore txs_;
   Mempool mempool_;
@@ -235,11 +238,6 @@ class ChainContext {
   ChainStats stats_;
   ExecutionModel exec_model_;
   std::vector<uint32_t> arrivals_per_second_;
-  // Fault state, sized lazily on first injection: empty vectors mean "no
-  // fault ever configured" and keep the healthy-run hot paths branchless
-  // beyond one emptiness check.
-  std::vector<uint8_t> down_nodes_;
-  std::vector<double> cpu_factors_;
   // Flat pool of every drafted block's transaction ids (see BuiltBlock).
   std::vector<TxId> block_txs_;
   // Per-block scratch (expired batches); reset at the top of BuildBlock.

@@ -1,0 +1,53 @@
+#include "src/chain/validator_table.h"
+
+#include <algorithm>
+
+namespace diablo {
+
+ValidatorTable::ValidatorTable(const DeploymentConfig& deployment) {
+  region_.reserve(static_cast<size_t>(deployment.node_count));
+  for (int i = 0; i < deployment.node_count; ++i) {
+    region_.push_back(static_cast<uint8_t>(deployment.NodeRegion(i)));
+  }
+}
+
+void ValidatorTable::SetDown(int index, bool down) {
+  if (down_.empty()) {
+    if (!down) {
+      return;
+    }
+    down_.Reset(region_.size());
+  }
+  down_.Assign(static_cast<size_t>(index), down);
+}
+
+void ValidatorTable::SetCpuFactor(int index, double factor) {
+  const uint32_t key = static_cast<uint32_t>(index);
+  auto it = std::lower_bound(
+      cpu_overrides_.begin(), cpu_overrides_.end(), key,
+      [](const std::pair<uint32_t, double>& e, uint32_t k) { return e.first < k; });
+  if (factor == 1.0) {
+    if (it != cpu_overrides_.end() && it->first == key) {
+      cpu_overrides_.erase(it);
+    }
+    return;
+  }
+  if (it != cpu_overrides_.end() && it->first == key) {
+    it->second = factor;
+    return;
+  }
+  cpu_overrides_.insert(it, {key, factor});
+}
+
+double ValidatorTable::CpuFactor(int index) const {
+  const uint32_t key = static_cast<uint32_t>(index);
+  const auto it = std::lower_bound(
+      cpu_overrides_.begin(), cpu_overrides_.end(), key,
+      [](const std::pair<uint32_t, double>& e, uint32_t k) { return e.first < k; });
+  if (it != cpu_overrides_.end() && it->first == key) {
+    return it->second;
+  }
+  return 1.0;
+}
+
+}  // namespace diablo

@@ -215,6 +215,19 @@ PairwiseDelays::PairwiseDelays(Network* net, const std::vector<HostId>& hosts,
                                int64_t message_bytes)
     : n_(hosts.size()) {
   net->FillPairwiseDelays(hosts, message_bytes, &delays_);
+  BuildTranspose();
+}
+
+PairwiseDelays::PairwiseDelays(size_t n, std::vector<SimDuration> row_major)
+    : n_(n), delays_(std::move(row_major)) {
+  if (delays_.size() != n_ * n_) {
+    CheckFailed(__FILE__, __LINE__, "row_major.size() == n * n",
+                "explicit pairwise matrix has the wrong element count");
+  }
+  BuildTranspose();
+}
+
+void PairwiseDelays::BuildTranspose() {
   by_receiver_.resize(n_ * n_);
   for (size_t i = 0; i < n_; ++i) {
     for (size_t j = 0; j < n_; ++j) {
@@ -225,6 +238,25 @@ PairwiseDelays::PairwiseDelays(Network* net, const std::vector<HostId>& hosts,
       }
     }
   }
+}
+
+VoteDelays::VoteDelays(Network* net, const std::vector<HostId>& hosts,
+                       int64_t message_bytes, size_t dense_threshold)
+    : n_(hosts.size()) {
+  if (n_ < dense_threshold) {
+    matrix_ = std::make_unique<PairwiseDelays>(net, hosts, message_bytes);
+  } else {
+    streamed_ = std::make_unique<StreamedDelays>(net, hosts, message_bytes);
+  }
+}
+
+size_t VoteDelays::ApproxBytes() const {
+  if (matrix_ != nullptr) {
+    // Row-major matrix plus its transpose.
+    return sizeof(*this) + sizeof(PairwiseDelays) +
+           2 * n_ * n_ * sizeof(SimDuration);
+  }
+  return sizeof(*this) + streamed_->ApproxBytes();
 }
 
 SimDuration QuorumArrival(const PairwiseDelays& delays,
@@ -398,6 +430,149 @@ SimDuration MedianDelayInto(const std::vector<SimDuration>& delays,
   }
 #endif
   return median;
+}
+
+namespace {
+
+#if defined(DIABLO_CHECKED)
+// Cross-check of the streamed quorum kernels: materialise the model into a
+// dense matrix (every at(i, j) is a pure function, so this reproduces the
+// exact delays the streaming kernel saw) and replay the reduction through
+// the dense path. Gated to small n — the check is O(n²) by construction.
+constexpr size_t kStreamCheckMaxN = 256;
+
+void CheckStreamedQuorum(const StreamedDelays& model,
+                         const std::vector<SimDuration>& send_times,
+                         size_t receiver, size_t quorum, double hop_scale,
+                         SimDuration got) {
+  const size_t n = model.size();
+  if (n > kStreamCheckMaxN) {
+    return;
+  }
+  std::vector<SimDuration> dense(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      dense[i * n + j] = model.at(i, j);
+    }
+  }
+  const PairwiseDelays matrix(n, std::move(dense));
+  MessagePlaneScratch scratch;
+  const SimDuration ref =
+      QuorumArrivalInto(matrix, send_times, receiver, quorum, hop_scale, &scratch);
+  DIABLO_CHECK(ref == got,
+               "streamed quorum kernel disagrees with the dense matrix path");
+}
+#endif
+
+}  // namespace
+
+SimDuration QuorumArrivalInto(const VoteDelays& delays,
+                              const std::vector<SimDuration>& send_times,
+                              size_t receiver, size_t quorum, double hop_scale,
+                              MessagePlaneScratch* scratch, int hint_slot) {
+  if (delays.dense()) {
+    return QuorumArrivalInto(delays.matrix(), send_times, receiver, quorum,
+                             hop_scale, scratch, hint_slot);
+  }
+  const SimDuration got =
+      QuorumArrivalLargeN(delays.streamed(), send_times.data(), send_times.size(),
+                          receiver, quorum, hop_scale, &scratch->buf);
+#if defined(DIABLO_CHECKED)
+  if (quorum > 0 &&
+      g_select_tick.fetch_add(1, std::memory_order_relaxed) % kSelectCheckCadence ==
+          0) {
+    CheckStreamedQuorum(delays.streamed(), send_times, receiver, quorum, hop_scale,
+                        got);
+  }
+#endif
+  return got;
+}
+
+void QuorumArrivalAllInto(const VoteDelays& delays,
+                          const std::vector<SimDuration>& send_times, size_t quorum,
+                          double hop_scale, MessagePlaneScratch* scratch,
+                          std::vector<SimDuration>* result, int hint_slot) {
+  if (delays.dense()) {
+    QuorumArrivalAllInto(delays.matrix(), send_times, quorum, hop_scale, scratch,
+                         result, hint_slot);
+    return;
+  }
+  const size_t n = send_times.size();
+  result->assign(n, kUnreachable);
+  profile::CountVoteRound();
+  if (quorum == 0) {
+    return;
+  }
+  for (size_t receiver = 0; receiver < n; ++receiver) {
+    (*result)[receiver] =
+        QuorumArrivalLargeN(delays.streamed(), send_times.data(), n, receiver,
+                            quorum, hop_scale, &scratch->buf);
+  }
+#if defined(DIABLO_CHECKED)
+  for (size_t receiver = 0; receiver < n; ++receiver) {
+    if ((*result)[receiver] == kUnreachable) {
+      continue;
+    }
+    if (g_select_tick.fetch_add(1, std::memory_order_relaxed) % kSelectCheckCadence !=
+        0) {
+      continue;
+    }
+    CheckStreamedQuorum(delays.streamed(), send_times, receiver, quorum, hop_scale,
+                        (*result)[receiver]);
+  }
+#endif
+}
+
+void QuorumArrivalCommitteeInto(const VoteDelays& delays,
+                                const std::vector<uint32_t>& senders,
+                                const std::vector<SimDuration>& sender_times,
+                                const std::vector<uint32_t>& receivers, size_t n,
+                                size_t quorum, double hop_scale,
+                                MessagePlaneScratch* scratch,
+                                std::vector<SimDuration>* result, int hint_slot) {
+  result->assign(n, kUnreachable);
+  profile::CountVoteRound();
+  if (quorum == 0) {
+    return;
+  }
+  VoteBitset& seen = scratch->receiver_bits;
+  seen.Reset(n);
+  if (delays.dense()) {
+    // Widen the compact sender list into a full send-times vector once, then
+    // run the exact dense single-receiver kernel per listed receiver.
+    scratch->expanded.assign(n, kUnreachable);
+    for (size_t j = 0; j < senders.size(); ++j) {
+      scratch->expanded[senders[j]] = sender_times[j];
+    }
+    for (const uint32_t r : receivers) {
+      if (!seen.Set(r)) {
+        continue;
+      }
+      (*result)[r] = QuorumArrivalInto(delays.matrix(), scratch->expanded, r,
+                                       quorum, hop_scale, scratch, hint_slot);
+    }
+    return;
+  }
+  for (const uint32_t r : receivers) {
+    if (!seen.Set(r)) {
+      continue;
+    }
+    (*result)[r] = QuorumArrivalLargeN(delays.streamed(), senders.data(),
+                                       sender_times.data(), senders.size(), r,
+                                       quorum, hop_scale, &scratch->buf);
+#if defined(DIABLO_CHECKED)
+    if ((*result)[r] != kUnreachable &&
+        g_select_tick.fetch_add(1, std::memory_order_relaxed) % kSelectCheckCadence ==
+            0) {
+      std::vector<SimDuration> full(n, kUnreachable);
+      for (size_t j = 0; j < senders.size(); ++j) {
+        full[senders[j]] = sender_times[j];
+      }
+      CheckStreamedQuorum(delays.streamed(), full, r, quorum, hop_scale,
+                          (*result)[r]);
+    }
+#endif
+  }
 }
 
 }  // namespace diablo

@@ -84,9 +84,43 @@ void AlgorandEngine::Round() {
   }
 
   std::vector<SimDuration>& soft = plane->stage_b;
-  vote_step(/*step=*/1, have_proposal, &soft, /*hint_slot=*/0);
   std::vector<SimDuration>& cert = plane->stage_c;
-  vote_step(/*step=*/2, soft, &cert, /*hint_slot=*/1);
+  if (!ctx_->vote_delays().dense()) {
+    // Committee-sampled BA* for large N. Sortition already bounds who votes,
+    // so each step only needs its result at the nodes that consume it — the
+    // next step's committee — instead of flooding all n receivers, keeping a
+    // round at O(committee²) while the dense path below stays O(n²). Both
+    // committees derive from the round seed, so they are known up front.
+    std::vector<uint32_t>& committee1 = plane->committee;
+    std::vector<uint32_t>& committee2 = plane->committee_b;
+    SelectCommitteeInto(seed_, height_, /*step=*/1, n, expected, &committee1);
+    SelectCommitteeInto(seed_, height_, /*step=*/2, n, expected, &committee2);
+    const double hops = GossipHopScale(static_cast<int>(n));
+    auto sampled_step = [&](uint64_t step, const std::vector<uint32_t>& committee,
+                            const std::vector<SimDuration>& start_times,
+                            std::vector<SimDuration>* voted, int hint_slot) {
+      const SimDuration step_floor =
+          params.step_timeout * static_cast<SimDuration>(step);
+      std::vector<SimDuration>& times = plane->senders;
+      times.clear();
+      for (const uint32_t member : committee) {
+        const SimDuration start = start_times[member];
+        times.push_back(start == kUnreachable
+                            ? kUnreachable
+                            : std::max<SimDuration>(start, step_floor));
+      }
+      const size_t threshold = std::max<size_t>(
+          1, static_cast<size_t>(
+                 std::ceil(0.685 * static_cast<double>(committee.size()))));
+      QuorumArrivalCommitteeInto(ctx_->vote_delays(), committee, times, committee2,
+                                 n, threshold, hops, plane, voted, hint_slot);
+    };
+    sampled_step(/*step=*/1, committee1, have_proposal, &soft, /*hint_slot=*/0);
+    sampled_step(/*step=*/2, committee2, soft, &cert, /*hint_slot=*/1);
+  } else {
+    vote_step(/*step=*/1, have_proposal, &soft, /*hint_slot=*/0);
+    vote_step(/*step=*/2, soft, &cert, /*hint_slot=*/1);
+  }
 
   const SimDuration round_latency = MedianDelayInto(cert, plane);
   if (round_latency == kUnreachable) {

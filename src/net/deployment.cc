@@ -34,6 +34,16 @@ DeploymentConfig GetDeployment(std::string_view name) {
   if (key == "consortium") {
     return DeploymentConfig{"consortium", 200, MachineSpec{8, 16}, AllRegions()};
   }
+  // "xl-<count>": the fig3-XL open-membership scale (1k–100k validators on
+  // commodity machines, spread over all regions).
+  if (key.rfind("xl-", 0) == 0) {
+    int64_t count = 0;
+    if (ParseInt64(std::string_view(key).substr(3), &count) && count > 0 &&
+        count <= 1000000) {
+      return DeploymentConfig{key, static_cast<int>(count), MachineSpec{4, 8},
+                              AllRegions()};
+    }
+  }
   throw std::invalid_argument("unknown deployment: " + std::string(name));
 }
 

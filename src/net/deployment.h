@@ -32,7 +32,8 @@ struct DeploymentConfig {
 };
 
 // Named configurations from Table 3: "datacenter", "testnet", "devnet",
-// "community", "consortium".
+// "community", "consortium". Also accepts "xl-<count>" (e.g. "xl-10000") for
+// fig3-XL deployments: <count> c5.xlarge validators over all ten regions.
 DeploymentConfig GetDeployment(std::string_view name);
 
 // All five configurations, in the paper's order.

@@ -54,6 +54,13 @@ void Network::FillPairwiseDelays(const std::vector<HostId>& hosts,
                                  int64_t message_bytes,
                                  std::vector<SimDuration>* out) {
   const size_t n = hosts.size();
+  if (PairwiseDelayCountOverflows(n)) {
+    // n² wrapped size_t: assigning the wrapped count would silently build a
+    // far-too-small matrix and every at(from, to) past it would read out of
+    // bounds. Deployments this large must use StreamedDelays instead.
+    CheckFailed(__FILE__, __LINE__, "hosts.size() * hosts.size() overflows size_t",
+                "pairwise delay matrix too large; use the streamed large-N model");
+  }
   out->assign(n * n, 0);
   // Topology, extra delays and partitions are fixed for the duration of this
   // call, so the deterministic part of a sample is a pure function of the
@@ -220,6 +227,115 @@ void Network::AddLossWindow(Region a, Region b, SimTime from, SimTime to,
   window.all_pairs = false;
   window.a = a;
   window.b = b;
+}
+
+StreamedDelays::StreamedDelays(Network* net, const std::vector<HostId>& hosts,
+                               int64_t message_bytes)
+    : jitter_frac_(net->jitter_frac_), jitter_seed_(net->rng_.NextU64()) {
+  region_.reserve(hosts.size());
+  partitioned_.reserve(hosts.size());
+  for (const HostId host : hosts) {
+    region_.push_back(static_cast<uint8_t>(net->regions_[host]));
+    partitioned_.push_back(net->partitioned_[host] ? 1 : 0);
+  }
+  for (int a = 0; a < kRegionCount; ++a) {
+    for (int b = 0; b < kRegionCount; ++b) {
+      const LinkParams& link =
+          Topology::Link(static_cast<Region>(a), static_cast<Region>(b));
+      Base& entry =
+          base_[static_cast<size_t>(a) * kRegionCount + static_cast<size_t>(b)];
+      entry.base = link.propagation +
+                   Topology::TransmissionDelayOn(link, message_bytes) +
+                   net->ExtraDelay(static_cast<Region>(a), static_cast<Region>(b));
+      entry.prop = static_cast<double>(link.propagation);
+    }
+  }
+}
+
+SimDuration StreamedDelays::at(size_t from, size_t to) const {
+  if (from == to) {
+    return 0;  // self-votes are instant, matching the dense matrix diagonal
+  }
+  if ((partitioned_[from] | partitioned_[to]) != 0) {
+    return kUnreachable;
+  }
+  const Base& entry =
+      base_[static_cast<size_t>(region_[from]) * kRegionCount + region_[to]];
+  // Counter-based half-normal jitter: two splitmix64 outputs keyed on
+  // (model seed, from, to) feed the same Box-Muller arithmetic as
+  // Rng::NextGaussian, so any pair's jitter is recomputable in O(1) without
+  // storing it — the property that lets the kernels stream.
+  uint64_t state = jitter_seed_ ^ ((static_cast<uint64_t>(from) << 32) |
+                                   static_cast<uint64_t>(to));
+  double u1 = static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+  const double u2 = static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  const double gauss = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  const double jitter_scale = jitter_frac_ * std::abs(gauss);
+  return entry.base + static_cast<SimDuration>(entry.prop * jitter_scale);
+}
+
+namespace {
+
+// Shared tail of both QuorumArrivalLargeN forms: exact k-th smallest of the
+// collected arrivals.
+SimDuration SelectQuorum(std::vector<SimDuration>* arrivals, size_t quorum) {
+  if (arrivals->size() < quorum) {
+    return kUnreachable;
+  }
+  std::nth_element(arrivals->begin(), arrivals->begin() + static_cast<long>(quorum - 1),
+                   arrivals->end());
+  return (*arrivals)[quorum - 1];
+}
+
+}  // namespace
+
+SimDuration QuorumArrivalLargeN(const StreamedDelays& delays,
+                                const SimDuration* send_times, size_t count,
+                                size_t receiver, size_t quorum, double hop_scale,
+                                std::vector<SimDuration>* scratch) {
+  if (quorum == 0) {
+    return kUnreachable;
+  }
+  scratch->clear();
+  for (size_t j = 0; j < count; ++j) {
+    const SimDuration s = send_times[j];
+    if (s == kUnreachable) {
+      continue;  // the jitter derivation is skipped for silent senders
+    }
+    const SimDuration hop = delays.at(j, receiver);
+    if (hop == kUnreachable) {
+      continue;
+    }
+    scratch->push_back(
+        s + static_cast<SimDuration>(static_cast<double>(hop) * hop_scale));
+  }
+  return SelectQuorum(scratch, quorum);
+}
+
+SimDuration QuorumArrivalLargeN(const StreamedDelays& delays, const uint32_t* senders,
+                                const SimDuration* sender_times, size_t count,
+                                size_t receiver, size_t quorum, double hop_scale,
+                                std::vector<SimDuration>* scratch) {
+  if (quorum == 0) {
+    return kUnreachable;
+  }
+  scratch->clear();
+  for (size_t j = 0; j < count; ++j) {
+    const SimDuration s = sender_times[j];
+    if (s == kUnreachable) {
+      continue;
+    }
+    const SimDuration hop = delays.at(senders[j], receiver);
+    if (hop == kUnreachable) {
+      continue;
+    }
+    scratch->push_back(
+        s + static_cast<SimDuration>(static_cast<double>(hop) * hop_scale));
+  }
+  return SelectQuorum(scratch, quorum);
 }
 
 bool Network::LossDrop(Region a, Region b) {

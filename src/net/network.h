@@ -8,7 +8,9 @@
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
+#include <array>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "src/net/region.h"
@@ -23,6 +25,13 @@ using HostId = uint32_t;
 // Returned for undeliverable messages (partitioned hosts).
 inline constexpr SimDuration kUnreachable = -1;
 
+// True when an n×n delay matrix cannot even be counted in size_t. Guards
+// FillPairwiseDelays before it sizes the output — without it, hosts.size()
+// squared silently wraps at huge N and the matrix misallocates.
+inline constexpr bool PairwiseDelayCountOverflows(size_t n) {
+  return n != 0 && n > std::numeric_limits<size_t>::max() / n;
+}
+
 // Reusable working memory for BroadcastDelaysInto. Engines own one instance
 // and pass it to every broadcast so steady-state rounds never allocate.
 struct BroadcastScratch {
@@ -33,6 +42,70 @@ struct BroadcastScratch {
   std::vector<size_t> order;
   std::vector<TreeNode> frontier;
 };
+
+class Network;
+
+// Snapshot delay model for large deployments: O(hosts + regions²) bytes.
+//
+// The dense PairwiseDelays matrix costs 2·8·n bytes *per validator*; at
+// 10,000 validators that is ~160 KB each — 1.6 GB for the cell — before a
+// single event runs. This model stores two bytes per host (region, partition
+// snapshot) plus the memoised per-region-pair deterministic base, and
+// re-derives the jitter term of any ordered pair on demand from a
+// counter-based half-normal draw keyed on (seed, from, to). Every at(i, j)
+// is a pure function, so the model supports random access (Avalanche's peer
+// sampling) and streaming column scans (quorum kernels) without ever
+// materialising n² state. Like the dense matrix, it snapshots topology,
+// extra delays and partitions at construction time.
+class StreamedDelays {
+ public:
+  StreamedDelays(Network* net, const std::vector<HostId>& hosts, int64_t message_bytes);
+
+  size_t size() const { return region_.size(); }
+
+  // One-way delay for the ordered pair of host-vector indices (from, to);
+  // deterministic per (model seed, from, to). kUnreachable when either
+  // endpoint was partitioned at construction.
+  SimDuration at(size_t from, size_t to) const;
+
+  // Bytes owned by this model; the fig3-XL memory-budget tests assert this
+  // stays linear in the host count with a small constant.
+  size_t ApproxBytes() const {
+    return sizeof(*this) + region_.capacity() + partitioned_.capacity();
+  }
+
+ private:
+  struct Base {
+    SimDuration base = 0;  // propagation + transmission + extra delay
+    double prop = 0.0;     // propagation in ticks, scales the jitter draw
+  };
+
+  std::vector<uint8_t> region_;       // region byte per host index
+  std::vector<uint8_t> partitioned_;  // partition snapshot per host index
+  std::array<Base, kRegionCount * kRegionCount> base_{};
+  double jitter_frac_ = 0.0;
+  uint64_t jitter_seed_ = 0;
+};
+
+// Streaming quorum-arrival kernel for large N: the time at which `receiver`
+// holds votes from `quorum` of the `count` senders, where sender j starts at
+// send_times[j] (kUnreachable = never votes) and each vote travels
+// hop_scale relayed hops of the streamed delay model. Exactly the dense
+// QuorumArrival reduction, but the receiver's delay column is derived on the
+// fly — no n² matrix exists. `scratch` carries the arrival buffer across
+// calls so steady-state rounds do not allocate.
+SimDuration QuorumArrivalLargeN(const StreamedDelays& delays,
+                                const SimDuration* send_times, size_t count,
+                                size_t receiver, size_t quorum, double hop_scale,
+                                std::vector<SimDuration>* scratch);
+
+// Sender-list form for committee-sampled rounds: senders[j] is the host
+// index of the j-th committee member and sender_times[j] its vote start.
+// Cost is O(committee), independent of the deployment size.
+SimDuration QuorumArrivalLargeN(const StreamedDelays& delays, const uint32_t* senders,
+                                const SimDuration* sender_times, size_t count,
+                                size_t receiver, size_t quorum, double hop_scale,
+                                std::vector<SimDuration>* scratch);
 
 // Per-network message accounting, so fault runs are observable: how many
 // point-to-point sends happened, how many were dropped because an endpoint
@@ -106,6 +179,10 @@ class Network {
   Simulation* sim() { return sim_; }
 
  private:
+  // Reads the memoised link bases, the partition vector and one seed draw at
+  // construction time.
+  friend class StreamedDelays;
+
   struct LossWindow {
     SimTime from = 0;
     SimTime to = 0;  // exclusive; open windows store SimTime max

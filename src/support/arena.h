@@ -9,10 +9,13 @@
 #define SRC_SUPPORT_ARENA_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <type_traits>
 #include <vector>
+
+#include "src/support/profile.h"
 
 namespace diablo {
 
@@ -20,7 +23,10 @@ class Arena {
  public:
   explicit Arena(size_t initial_bytes = 1024) {
     chunks_.push_back(MakeChunk(initial_bytes));
+    profile::AddArenaBytes(static_cast<int64_t>(chunks_.back().size));
   }
+
+  ~Arena() { profile::AddArenaBytes(-static_cast<int64_t>(capacity())); }
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
@@ -94,6 +100,7 @@ class Arena {
       grown = min_bytes;
     }
     chunks_.push_back(MakeChunk(grown));
+    profile::AddArenaBytes(static_cast<int64_t>(chunks_.back().size));
     current_ = chunks_.size() - 1;
     offset_ = 0;
   }

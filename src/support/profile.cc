@@ -7,6 +7,10 @@
 #include <cstring>
 #include <inttypes.h>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace diablo::profile {
 namespace {
 
@@ -14,6 +18,8 @@ std::atomic<uint64_t> g_events{0};
 std::atomic<uint64_t> g_sends{0};
 std::atomic<uint64_t> g_vote_rounds{0};
 std::atomic<uint64_t> g_vm_ops{0};
+std::atomic<int64_t> g_arena_live{0};
+std::atomic<int64_t> g_arena_hwm{0};
 
 // detlint: allow(D2, profiling layer: wall time feeds only the stderr summary, never simulation state)
 const std::chrono::steady_clock::time_point g_start = std::chrono::steady_clock::now();
@@ -24,11 +30,13 @@ void PrintSummary() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - g_start).count();
   std::fprintf(stderr,
                "[profile] events=%" PRIu64 " net_sends=%" PRIu64 " vote_rounds=%" PRIu64
-               " vm_ops=%" PRIu64 " wall=%.2fs\n",
+               " vm_ops=%" PRIu64 " wall=%.2fs rss_peak=%" PRId64 "B arena_hwm=%" PRId64
+               "B\n",
                g_events.load(std::memory_order_relaxed),
                g_sends.load(std::memory_order_relaxed),
                g_vote_rounds.load(std::memory_order_relaxed),
-               g_vm_ops.load(std::memory_order_relaxed), wall);
+               g_vm_ops.load(std::memory_order_relaxed), wall, PeakRssBytes(),
+               g_arena_hwm.load(std::memory_order_relaxed));
 }
 
 bool InitEnabled() {
@@ -50,5 +58,30 @@ void AddEvents(uint64_t n) { g_events.fetch_add(n, std::memory_order_relaxed); }
 void AddSends(uint64_t n) { g_sends.fetch_add(n, std::memory_order_relaxed); }
 void CountVoteRound() { g_vote_rounds.fetch_add(1, std::memory_order_relaxed); }
 void AddVmOps(uint64_t n) { g_vm_ops.fetch_add(n, std::memory_order_relaxed); }
+
+void AddArenaBytes(int64_t delta) {
+  const int64_t live =
+      g_arena_live.fetch_add(delta, std::memory_order_relaxed) + delta;
+  int64_t hwm = g_arena_hwm.load(std::memory_order_relaxed);
+  while (live > hwm && !g_arena_hwm.compare_exchange_weak(
+                           hwm, live, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t ArenaHighWater() { return g_arena_hwm.load(std::memory_order_relaxed); }
+
+int64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<int64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
 
 }  // namespace diablo::profile

@@ -22,6 +22,16 @@ void AddSends(uint64_t n);
 void CountVoteRound();
 void AddVmOps(uint64_t n);
 
+// Arena memory accounting: arenas report chunk creation (positive delta) and
+// destruction (negative); the high-water mark of live arena bytes lands in
+// the exit summary so the fig3-XL memory claims are observable.
+void AddArenaBytes(int64_t delta);
+int64_t ArenaHighWater();
+
+// Peak resident set size of this process in bytes (getrusage), 0 when the
+// platform cannot report it.
+int64_t PeakRssBytes();
+
 }  // namespace diablo::profile
 
 #endif  // SRC_SUPPORT_PROFILE_H_

@@ -46,6 +46,7 @@ TEST_P(ShippedConfigTest, ParsesAndAggregates) {
 INSTANTIATE_TEST_SUITE_P(AllFiles, ShippedConfigTest,
                          ::testing::Values("workload-native-10.yaml",
                                            "workload-native-100.yaml",
+                                           "workload-native-10000.yaml",
                                            "workload-contract-10.yaml",
                                            "workload-dota.yaml",
                                            "workload-uber.yaml",
