@@ -11,16 +11,23 @@ namespace {
 // simulated network to the collocated endpoint. With a retry policy
 // enabled, failed write submissions rotate endpoints and back off
 // exponentially until the attempt budget runs out.
+//
+// Each client owns its delay-jitter stream (rng_, forked once at creation):
+// Trigger runs inside the windowed scheduler's parallel phase when cell
+// workers are enabled, where drawing from the network's shared generator
+// would race and break the canonical draw order.
 class SimClient : public BlockchainClient {
  public:
   SimClient(ChainInstance* chain, HostId client_host, std::vector<int> endpoints,
-            const RetryPolicy* policy, ClientStats* stats)
+            const RetryPolicy* policy, ClientStats* stats, Rng rng)
       : chain_(chain),
         client_host_(client_host),
         endpoints_(std::move(endpoints)),
         policy_(policy),
-        stats_(stats) {}
+        stats_(stats),
+        rng_(rng) {}
 
+  // detlint: parallel-phase(begin)
   void Trigger(TxId encoded, SimTime submit_time) override {
     ChainContext& ctx = chain_->context();
     Transaction& tx = ctx.txs().at(encoded);
@@ -49,8 +56,8 @@ class SimClient : public BlockchainClient {
 
     const int endpoint = endpoints_[next_endpoint_++ % endpoints_.size()];
     const HostId endpoint_host = ctx.hosts()[static_cast<size_t>(endpoint)];
-    SimDuration delay =
-        ctx.net()->DelaySample(client_host_, endpoint_host, tx.size_bytes + 128);
+    SimDuration delay = ctx.net()->DelaySampleFrom(&rng_, client_host_,
+                                                   endpoint_host, tx.size_bytes + 128);
     if (delay == kUnreachable) {
       delay = Milliseconds(500);
     }
@@ -60,7 +67,7 @@ class SimClient : public BlockchainClient {
     if (tx.read_only) {
       const SimDuration exec = ctx.ExecAndVerifyTime(tx.gas, 1);
       SimDuration back =
-          ctx.net()->DelaySample(endpoint_host, client_host_, 256);
+          ctx.net()->DelaySampleFrom(&rng_, endpoint_host, client_host_, 256);
       if (back == kUnreachable) {
         back = Milliseconds(500);
       }
@@ -77,6 +84,7 @@ class SimClient : public BlockchainClient {
       ctx.SubmitAtEndpoint(encoded, endpoint, arrival);
     });
   }
+  // detlint: parallel-phase(end)
 
  private:
   // One submission attempt issued at `now`. Endpoints rotate per attempt,
@@ -90,8 +98,8 @@ class SimClient : public BlockchainClient {
     }
     const int endpoint = endpoints_[next_endpoint_++ % endpoints_.size()];
     const HostId endpoint_host = ctx.hosts()[static_cast<size_t>(endpoint)];
-    const SimDuration delay =
-        ctx.net()->DelaySample(client_host_, endpoint_host, tx.size_bytes + 128);
+    const SimDuration delay = ctx.net()->DelaySampleFrom(
+        &rng_, client_host_, endpoint_host, tx.size_bytes + 128);
     if (delay == kUnreachable) {
       // The request vanished (endpoint crashed or partitioned); the client
       // only learns after its submission timeout.
@@ -107,7 +115,7 @@ class SimClient : public BlockchainClient {
       // Admission rejected (pool full, signer cap) or the node died while
       // the request was in flight; the rejection reply travels back.
       const HostId ehost = c.hosts()[static_cast<size_t>(endpoint)];
-      SimDuration back = c.net()->DelaySample(ehost, client_host_, 256);
+      SimDuration back = c.net()->DelaySampleFrom(&rng_, ehost, client_host_, 256);
       if (back == kUnreachable) {
         back = policy_->timeout;
       }
@@ -137,6 +145,7 @@ class SimClient : public BlockchainClient {
   size_t next_endpoint_ = 0;
   const RetryPolicy* policy_;
   ClientStats* stats_;
+  Rng rng_;  // owned jitter stream; safe to draw from inside a parallel phase
 };
 
 }  // namespace
@@ -159,9 +168,10 @@ SimConnector::SimConnector(ChainInstance* chain) : chain_(chain) {}
 
 std::unique_ptr<BlockchainClient> SimConnector::CreateClient(
     Region location, std::vector<int> endpoint_view) {
-  const HostId host = chain_->context().net()->AddHost(location);
+  ChainContext& ctx = chain_->context();
+  const HostId host = ctx.net()->AddHost(location);
   return std::make_unique<SimClient>(chain_, host, std::move(endpoint_view),
-                                     &retry_, &client_stats_);
+                                     &retry_, &client_stats_, ctx.sim()->ForkRng());
 }
 
 bool SimConnector::CreateResource(const ResourceSpec& spec, Resource* out) {

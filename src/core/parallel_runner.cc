@@ -33,17 +33,37 @@ int ParallelRunner::JobsFromEnv() {
   return ThreadPool::HardwareConcurrency();
 }
 
+int ParallelRunner::CellWorkersFromEnv() {
+  const char* raw = std::getenv("DIABLO_CELL_WORKERS");
+  if (raw != nullptr) {
+    int64_t value = 0;
+    if (ParseInt64(raw, &value) && value > 0) {
+      return static_cast<int>(std::min<int64_t>(value, 64));
+    }
+  }
+  return 0;
+}
+
 std::vector<RunResult> ParallelRunner::Run(std::vector<ExperimentCell> cells) {
   // detlint: allow(D2, wall time feeds only RunnerStats::wall_seconds, a profiling observable outside every report)
   const auto start = std::chrono::steady_clock::now();
   std::vector<RunResult> results(cells.size());
 
-  if (jobs_ == 1 || cells.size() <= 1) {
+  // Nested-parallelism budget: when each cell spins up its own windowed
+  // worker pool (DIABLO_CELL_WORKERS > 1), divide the job budget between the
+  // two layers instead of oversubscribing jobs × workers threads.
+  int pool_threads = std::min<int>(jobs_, static_cast<int>(cells.size()));
+  const int cell_workers = CellWorkersFromEnv();
+  if (cell_workers > 1) {
+    pool_threads = std::max(1, pool_threads / cell_workers);
+  }
+
+  if (pool_threads == 1 || cells.size() <= 1) {
     for (size_t i = 0; i < cells.size(); ++i) {
       results[i] = cells[i].run();
     }
   } else {
-    ThreadPool pool(std::min<int>(jobs_, static_cast<int>(cells.size())));
+    ThreadPool pool(pool_threads);
     std::vector<std::future<void>> futures;
     futures.reserve(cells.size());
     for (size_t i = 0; i < cells.size(); ++i) {

@@ -61,6 +61,13 @@ class ParallelRunner {
   // back to the hardware concurrency.
   static int JobsFromEnv();
 
+  // DIABLO_CELL_WORKERS from the environment: the intra-cell windowed
+  // scheduler's worker count (see Simulation::ConfigureCellWorkers). Unset,
+  // empty or invalid values mean 0 — intra-cell parallelism disabled, the
+  // legacy single-threaded loop. Output is byte-identical at every setting;
+  // only the thread budget changes.
+  static int CellWorkersFromEnv();
+
  private:
   int jobs_;
   RunnerStats stats_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/core/interface.h"
+#include "src/core/parallel_runner.h"
 #include "src/core/results.h"
 #include "src/core/secondary.h"
 #include "src/fault/injector.h"
@@ -268,6 +269,22 @@ RunResult Primary::RunStreams(std::vector<WorkStream> streams,
              StrFormat("primary: %zu txs over %zu s on %s/%s (%zu streams)", total_txs,
                        duration, params.name.c_str(), setup_.deployment.c_str(),
                        streams.size()));
+
+  // Intra-cell parallelism (DIABLO_CELL_WORKERS): run secondaries' submission
+  // batches on a windowed worker pool, with the network's minimum link delay
+  // as the conservative lookahead. Fault schedules and retry policies route
+  // submissions through shared fault state (loss draws, client stats), so
+  // those runs stay on the serial loop; output is byte-identical either way.
+  const int cell_workers = ParallelRunner::CellWorkersFromEnv();
+  if (cell_workers > 0 && setup_.faults.empty() && !setup_.retry.enabled()) {
+    const SimDuration lookahead = net.MinLinkDelay();
+    if (lookahead > 0) {
+      sim.ConfigureCellWorkers(cell_workers, lookahead);
+      for (const auto& secondary : secondaries) {
+        secondary->EnableSharding();
+      }
+    }
+  }
 
   chain->Start();
   for (const auto& secondary : secondaries) {

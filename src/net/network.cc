@@ -26,6 +26,11 @@ HostId Network::AddHost(Region region) {
 }
 
 SimDuration Network::DelaySample(HostId from, HostId to, int64_t bytes) {
+  return DelaySampleFrom(&rng_, from, to, bytes);
+}
+
+SimDuration Network::DelaySampleFrom(Rng* rng, HostId from, HostId to,
+                                     int64_t bytes) {
   if (partitioned_[from] || partitioned_[to]) {
     return kUnreachable;
   }
@@ -40,7 +45,7 @@ SimDuration Network::DelaySample(HostId from, HostId to, int64_t bytes) {
   const LinkParams& link = Topology::Link(a, b);
   const SimDuration prop = link.propagation;
   const SimDuration trans = Topology::TransmissionDelayOn(link, bytes);
-  const double jitter_scale = jitter_frac_ * std::abs(rng_.NextGaussian(0.0, 1.0));
+  const double jitter_scale = jitter_frac_ * std::abs(rng->NextGaussian(0.0, 1.0));
   const SimDuration jitter =
       static_cast<SimDuration>(static_cast<double>(prop) * jitter_scale);
   const SimDuration delay = prop + trans + jitter + ExtraDelay(a, b);
@@ -48,6 +53,32 @@ SimDuration Network::DelaySample(HostId from, HostId to, int64_t bytes) {
   // mean arithmetic overflow — which would reorder deliveries silently.
   DIABLO_CHECK(delay >= 0, "sampled link delay went negative (overflow?)");
   return delay;
+}
+
+SimDuration Network::MinLinkDelay() const {
+  std::array<uint32_t, kRegionCount> counts{};
+  for (const Region region : regions_) {
+    ++counts[static_cast<size_t>(region)];
+  }
+  SimDuration best = std::numeric_limits<SimDuration>::max();
+  for (int a = 0; a < kRegionCount; ++a) {
+    if (counts[static_cast<size_t>(a)] == 0) {
+      continue;
+    }
+    for (int b = 0; b < kRegionCount; ++b) {
+      if (counts[static_cast<size_t>(b)] == 0) {
+        continue;
+      }
+      if (a == b && counts[static_cast<size_t>(a)] < 2) {
+        continue;  // no distinct pair lives on this self-link
+      }
+      const SimDuration bound =
+          Topology::Link(static_cast<Region>(a), static_cast<Region>(b)).propagation +
+          ExtraDelay(static_cast<Region>(a), static_cast<Region>(b));
+      best = std::min(best, bound);
+    }
+  }
+  return best == std::numeric_limits<SimDuration>::max() ? 0 : best;
 }
 
 void Network::FillPairwiseDelays(const std::vector<HostId>& hosts,
@@ -250,6 +281,33 @@ StreamedDelays::StreamedDelays(Network* net, const std::vector<HostId>& hosts,
       entry.prop = static_cast<double>(link.propagation);
     }
   }
+}
+
+SimDuration StreamedDelays::MinLinkDelay() const {
+  std::array<uint32_t, kRegionCount> counts{};
+  for (size_t i = 0; i < region_.size(); ++i) {
+    if (partitioned_[i] == 0) {
+      ++counts[region_[i]];
+    }
+  }
+  SimDuration best = std::numeric_limits<SimDuration>::max();
+  for (int a = 0; a < kRegionCount; ++a) {
+    if (counts[static_cast<size_t>(a)] == 0) {
+      continue;
+    }
+    for (int b = 0; b < kRegionCount; ++b) {
+      if (counts[static_cast<size_t>(b)] == 0) {
+        continue;
+      }
+      if (a == b && counts[static_cast<size_t>(a)] < 2) {
+        continue;
+      }
+      best = std::min(
+          best,
+          base_[static_cast<size_t>(a) * kRegionCount + static_cast<size_t>(b)].base);
+    }
+  }
+  return best == std::numeric_limits<SimDuration>::max() ? 0 : best;
 }
 
 SimDuration StreamedDelays::at(size_t from, size_t to) const {

@@ -68,6 +68,13 @@ class StreamedDelays {
   // endpoint was partitioned at construction.
   SimDuration at(size_t from, size_t to) const;
 
+  // Lower bound on at(i, j) over all distinct non-partitioned index pairs:
+  // the minimum deterministic base (propagation + transmission + extra) over
+  // populated region pairs, jitter being non-negative. 0 when fewer than two
+  // hosts can form a pair. Used as the conservative lookahead of the windowed
+  // parallel scheduler.
+  SimDuration MinLinkDelay() const;
+
   // Bytes owned by this model; the fig3-XL memory-budget tests assert this
   // stays linear in the host count with a small constant.
   size_t ApproxBytes() const {
@@ -132,6 +139,21 @@ class Network {
   // Samples a one-way delay for `bytes` from `from` to `to`. Returns
   // kUnreachable when either endpoint is partitioned off.
   SimDuration DelaySample(HostId from, HostId to, int64_t bytes);
+
+  // DelaySample with the jitter draw taken from a caller-owned generator
+  // instead of this network's shared stream. Components that run inside a
+  // parallel window (detlint rule D6) must use this form with a stream they
+  // own: arithmetic and semantics are identical sample for sample, only the
+  // generator differs.
+  SimDuration DelaySampleFrom(Rng* rng, HostId from, HostId to, int64_t bytes);
+
+  // Lower bound on any delay DelaySample can return for a pair of *distinct*
+  // hosts (self-delivery is always 0): the minimum propagation + extra delay
+  // over region pairs that currently have enough hosts to form a distinct
+  // pair. Transmission and jitter are non-negative, so they never lower it.
+  // Returns 0 when fewer than two hosts exist. This is the conservative
+  // lookahead bound of the windowed parallel scheduler.
+  SimDuration MinLinkDelay() const;
 
   // Fills `out` (resized to n*n, row-major: out[from*n+to]) with one delay
   // sample per ordered host pair — exactly the samples DelaySample would

@@ -20,6 +20,8 @@ std::atomic<uint64_t> g_vote_rounds{0};
 std::atomic<uint64_t> g_vm_ops{0};
 std::atomic<int64_t> g_arena_live{0};
 std::atomic<int64_t> g_arena_hwm{0};
+std::atomic<uint64_t> g_window_barriers{0};
+std::atomic<uint64_t> g_worker_events[kMaxProfiledWorkers]{};
 
 // detlint: allow(D2, profiling layer: wall time feeds only the stderr summary, never simulation state)
 const std::chrono::steady_clock::time_point g_start = std::chrono::steady_clock::now();
@@ -37,6 +39,21 @@ void PrintSummary() {
                g_vote_rounds.load(std::memory_order_relaxed),
                g_vm_ops.load(std::memory_order_relaxed), wall, PeakRssBytes(),
                g_arena_hwm.load(std::memory_order_relaxed));
+  const uint64_t barriers = g_window_barriers.load(std::memory_order_relaxed);
+  if (barriers > 0) {
+    std::fprintf(stderr, "[profile] window_barriers=%" PRIu64 " worker_events=",
+                 barriers);
+    const char* sep = "";
+    for (int w = 0; w < kMaxProfiledWorkers; ++w) {
+      const uint64_t n = g_worker_events[w].load(std::memory_order_relaxed);
+      if (n == 0) {
+        continue;
+      }
+      std::fprintf(stderr, "%s%d:%" PRIu64, sep, w, n);
+      sep = ",";
+    }
+    std::fprintf(stderr, "\n");
+  }
 }
 
 bool InitEnabled() {
@@ -58,6 +75,20 @@ void AddEvents(uint64_t n) { g_events.fetch_add(n, std::memory_order_relaxed); }
 void AddSends(uint64_t n) { g_sends.fetch_add(n, std::memory_order_relaxed); }
 void CountVoteRound() { g_vote_rounds.fetch_add(1, std::memory_order_relaxed); }
 void AddVmOps(uint64_t n) { g_vm_ops.fetch_add(n, std::memory_order_relaxed); }
+
+void AddWindowBarriers(uint64_t n) {
+  g_window_barriers.fetch_add(n, std::memory_order_relaxed);
+}
+
+void AddWorkerEvents(int worker, uint64_t n) {
+  if (worker < 0) {
+    worker = 0;
+  }
+  if (worker >= kMaxProfiledWorkers) {
+    worker = kMaxProfiledWorkers - 1;
+  }
+  g_worker_events[worker].fetch_add(n, std::memory_order_relaxed);
+}
 
 void AddArenaBytes(int64_t delta) {
   const int64_t live =

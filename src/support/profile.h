@@ -22,6 +22,14 @@ void AddSends(uint64_t n);
 void CountVoteRound();
 void AddVmOps(uint64_t n);
 
+// Windowed parallel scheduler accounting: barriers crossed and events
+// executed per cell worker (workers beyond kMaxProfiledWorkers fold into the
+// last slot). Both land in the exit summary only when any barrier was
+// crossed, so single-threaded runs keep the historical summary line.
+inline constexpr int kMaxProfiledWorkers = 16;
+void AddWindowBarriers(uint64_t n);
+void AddWorkerEvents(int worker, uint64_t n);
+
 // Arena memory accounting: arenas report chunk creation (positive delta) and
 // destruction (negative); the high-water mark of live arena bytes lands in
 // the exit summary so the fig3-XL memory claims are observable.

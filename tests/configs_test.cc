@@ -129,7 +129,7 @@ TEST(ShippedConfigTest, CheckedBuildDoesNotPerturbResults) {
   ASSERT_TRUE(result.failure_reason.empty()) << result.failure_reason;
   const std::string digest = DigestHex(Sha256Digest(result.report.ToText()));
   EXPECT_EQ(digest,
-            "16762a2d6fbb8831afb6a26fa8f5aa674d0bae17977deffd7edafa931feed26c")
+            "a59ebe9091ff08e84e38855b5b020655604cb9872ab61a82f73f493f1aca56cb")
       << "report text changed; if intentional, update the golden hash "
          "(kCheckedBuild=" << kCheckedBuild << ")";
 }

@@ -1,0 +1,25 @@
+// detlint fixture: rule D6 — accessor RNG draws inside parallel-phase regions.
+#include "src/support/rng.h"
+
+using diablo::Rng;
+
+unsigned long DrawOutsidePhase(diablo::ChainContext* ctx) {
+  unsigned long draw = ctx->rng().NextU64();  // outside any region: no finding
+  return draw;
+}
+
+// detlint: parallel-phase(begin)
+unsigned long DrawInsidePhase(diablo::ChainContext* ctx) {
+  unsigned long draw = ctx->rng().NextU64();
+  return draw;
+}
+
+struct Shard {
+  Rng rng_{7};
+  unsigned long DrawOwned() { return rng_.NextU64(); }  // owned member: quiet
+  unsigned long DrawSuppressed(diablo::ChainContext* ctx) {
+    // detlint: allow(D6, fixture: the accessor returns this shard's own stream)
+    return ctx->rng().NextU64();
+  }
+};
+// detlint: parallel-phase(end)

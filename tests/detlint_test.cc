@@ -1,5 +1,5 @@
 // Locks the determinism linter's rule behavior against the fixture corpus in
-// tests/detlint_fixtures/: each rule D1–D5 must fire on its known violation
+// tests/detlint_fixtures/: each rule D1–D6 must fire on its known violation
 // at the exact line, each suppressed variant must be marked suppressed, and
 // reasonless suppressions must surface as SUP findings without suppressing.
 #include <gtest/gtest.h>
@@ -65,6 +65,31 @@ TEST(Detlint, D4FiresOnSharedRngDrawsButNotForkedReceivers) {
       // line 18 (ctx->rng()) is absent: ctx is an allowlisted forked stream
   };
   EXPECT_EQ(got, want);
+}
+
+TEST(Detlint, D6FiresOnAccessorDrawsInsideParallelPhaseRegions) {
+  const auto got = Lint("d6_parallel_phase_rng.cc");
+  const std::vector<Triple> want = {
+      {"D6", 13, false},  // ctx->rng() inside the region (D4-allowlisted,
+                          // but no accessor stream is shard-owned)
+      {"D6", 22, true},   // suppressed draw inside the region
+      // line 7 (ctx->rng() before the begin marker) is absent: D6 only
+      // applies between parallel-phase(begin) and parallel-phase(end)
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(Detlint, D6RegionLeftOpenExtendsToEndOfFile) {
+  const LintResult result = LintSource("open_region.cc", R"cc(
+    // detlint: parallel-phase(begin)
+    unsigned long Draw(diablo::ChainContext* ctx) {
+      return ctx->rng().NextU64();
+    }
+  )cc");
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "D6");
+  EXPECT_EQ(result.findings[0].line, 4);
+  EXPECT_FALSE(result.findings[0].suppressed);
 }
 
 TEST(Detlint, D5FiresOnFloatAccumulationInsideUnorderedLoops) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "src/net/deployment.h"
 #include "src/net/network.h"
@@ -337,6 +338,78 @@ TEST(NetworkTest, BroadcastFanoutBelowOneBecomesChain) {
   std::sort(actual.begin(), actual.end());
   const std::vector<SimDuration> expected = {p + t, 2 * p + 2 * t};
   EXPECT_EQ(actual, expected);
+}
+
+// --- MinLinkDelay: the windowed scheduler's lookahead bound -----------------
+// The conservative time-window scheduler uses Network::MinLinkDelay() as its
+// lookahead, so these tests pin the two properties the scheduler's
+// correctness rests on: the bound equals the true minimum over populated
+// links (no slack lost), and no sample — any pair, any payload, jitter on —
+// ever lands below it (conservatism).
+
+TEST(NetworkTest, MinLinkDelayMatchesBruteForceMinimum) {
+  Simulation sim(3);
+  Network net(&sim, /*jitter_frac=*/0.0);
+  const DeploymentConfig devnet = GetDeployment("devnet");
+  std::vector<HostId> hosts;
+  for (int i = 0; i < 20; ++i) {
+    hosts.push_back(net.AddHost(devnet.NodeRegion(i)));
+  }
+  // Zero jitter and zero payload make DelaySample exactly propagation+extra,
+  // the quantity MinLinkDelay minimises.
+  SimDuration brute = std::numeric_limits<SimDuration>::max();
+  for (const HostId a : hosts) {
+    for (const HostId b : hosts) {
+      if (a != b) {
+        brute = std::min(brute, net.DelaySample(a, b, 0));
+      }
+    }
+  }
+  EXPECT_GT(net.MinLinkDelay(), 0);
+  EXPECT_EQ(net.MinLinkDelay(), brute);
+}
+
+TEST(NetworkTest, MinLinkDelayLowerBoundsEverySample) {
+  Simulation sim(5);
+  Network net(&sim);  // default jitter fraction
+  const DeploymentConfig devnet = GetDeployment("devnet");
+  std::vector<HostId> hosts;
+  for (int i = 0; i < 12; ++i) {
+    hosts.push_back(net.AddHost(devnet.NodeRegion(i)));
+  }
+  const SimDuration bound = net.MinLinkDelay();
+  ASSERT_GT(bound, 0);
+  for (const HostId a : hosts) {
+    for (const HostId b : hosts) {
+      if (a == b) {
+        continue;
+      }
+      for (const int64_t bytes : {int64_t{0}, int64_t{1000}, int64_t{100000}}) {
+        EXPECT_LE(bound, net.DelaySample(a, b, bytes)) << a << "->" << b;
+      }
+    }
+  }
+}
+
+TEST(NetworkTest, MinLinkDelayAccountsForExtraDelay) {
+  Simulation sim(5);
+  Network net(&sim, /*jitter_frac=*/0.0);
+  net.AddHost(Region::kOhio);
+  net.AddHost(Region::kOhio);
+  const SimDuration base = net.MinLinkDelay();
+  EXPECT_GT(base, 0);
+  net.SetExtraDelay(Region::kOhio, Region::kOhio, Seconds(1));
+  EXPECT_EQ(net.MinLinkDelay(), base + Seconds(1));
+}
+
+TEST(NetworkTest, MinLinkDelayZeroWithoutALink) {
+  Simulation sim(5);
+  Network net(&sim);
+  EXPECT_EQ(net.MinLinkDelay(), 0);  // no hosts
+  net.AddHost(Region::kOhio);
+  EXPECT_EQ(net.MinLinkDelay(), 0);  // one host: no pair to bound
+  net.AddHost(Region::kTokyo);
+  EXPECT_GT(net.MinLinkDelay(), 0);
 }
 
 TEST(NetworkTest, BroadcastDeterministicPerSeed) {

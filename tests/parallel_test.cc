@@ -83,6 +83,17 @@ TEST(ParallelRunnerTest, JobsFromEnvParsesOverride) {
   EXPECT_EQ(ParallelRunner::JobsFromEnv(), ThreadPool::HardwareConcurrency());
 }
 
+TEST(ParallelRunnerTest, CellWorkersFromEnvParsesOverride) {
+  ASSERT_EQ(setenv("DIABLO_CELL_WORKERS", "3", 1), 0);
+  EXPECT_EQ(ParallelRunner::CellWorkersFromEnv(), 3);
+  ASSERT_EQ(setenv("DIABLO_CELL_WORKERS", "bogus", 1), 0);
+  EXPECT_EQ(ParallelRunner::CellWorkersFromEnv(), 0);
+  ASSERT_EQ(setenv("DIABLO_CELL_WORKERS", "0", 1), 0);
+  EXPECT_EQ(ParallelRunner::CellWorkersFromEnv(), 0);
+  ASSERT_EQ(unsetenv("DIABLO_CELL_WORKERS"), 0);
+  EXPECT_EQ(ParallelRunner::CellWorkersFromEnv(), 0);
+}
+
 TEST(ParallelRunnerTest, ResultsComeBackInCellOrder) {
   ParallelRunner runner(4);
   std::vector<ExperimentCell> cells;
@@ -190,6 +201,44 @@ TEST(DeterminismTest, ParallelResultsInvariantToJobCount) {
     EXPECT_EQ(Fingerprint(with_one[i]), serial[i]) << "cell " << i;
     EXPECT_EQ(Fingerprint(with_four[i]), serial[i]) << "cell " << i;
   }
+}
+
+TEST(DeterminismTest, InvariantToCellWorkersTimesJobsMatrix) {
+  // The full composition knob cross-product: intra-cell workers
+  // (DIABLO_CELL_WORKERS, windowed scheduler) x inter-cell jobs
+  // (ParallelRunner). Every combination must reproduce the baseline
+  // fingerprints computed with both knobs off.
+  ASSERT_EQ(unsetenv("DIABLO_CELL_WORKERS"), 0);
+  const std::vector<std::string> chains = {"algorand", "solana"};
+  auto build_cells = [&chains] {
+    std::vector<ExperimentCell> cells;
+    for (size_t c = 0; c < chains.size(); ++c) {
+      const std::string chain = chains[c];
+      const uint64_t seed = CellSeed(/*base_seed=*/5, c);
+      cells.push_back(
+          {chain, [chain, seed] { return RunDeterminismCell(chain, seed); }});
+    }
+    return cells;
+  };
+
+  std::vector<std::string> baseline;
+  for (ExperimentCell& cell : build_cells()) {
+    baseline.push_back(Fingerprint(cell.run()));
+  }
+
+  for (const char* workers : {"1", "2", "4"}) {
+    ASSERT_EQ(setenv("DIABLO_CELL_WORKERS", workers, 1), 0);
+    for (const int jobs : {1, 4}) {
+      ParallelRunner runner(jobs);
+      const std::vector<RunResult> got = runner.Run(build_cells());
+      ASSERT_EQ(got.size(), baseline.size());
+      for (size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_EQ(Fingerprint(got[i]), baseline[i])
+            << "workers=" << workers << " jobs=" << jobs << " cell " << i;
+      }
+    }
+  }
+  ASSERT_EQ(unsetenv("DIABLO_CELL_WORKERS"), 0);
 }
 
 TEST(DeterminismTest, FaultCellsInvariantToJobCount) {

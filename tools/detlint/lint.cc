@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -28,19 +29,38 @@ struct LexOutput {
   std::vector<Token> tokens;
   std::map<int, std::vector<Allow>> allows;         // line -> allows
   std::vector<std::pair<int, Allow>> standalone;    // comment line, allow
+  std::vector<std::pair<int, bool>> phase_marks;    // line, is_begin (D6)
   std::vector<Finding> comment_findings;            // malformed allow()
 };
 
 bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
 bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
 
-// Parses every suppression — the tool's marker word, a colon, then
-// `allow(RULE, reason)` — occurring in a comment.
+// Parses every detlint comment directive: `allow(RULE, reason)` suppressions
+// and the `parallel-phase(begin)` / `parallel-phase(end)` region markers that
+// scope rule D6.
 void ParseAllows(const std::string& comment, int line, bool standalone,
                  const std::string& file, LexOutput* out) {
   size_t pos = 0;
   while ((pos = comment.find("detlint:", pos)) != std::string::npos) {
     pos += 8;
+    // Region markers come right after the marker word; they must be matched
+    // here because the allow() search below breaks out when absent.
+    size_t marker = pos;
+    while (marker < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[marker]))) {
+      ++marker;
+    }
+    if (comment.compare(marker, 21, "parallel-phase(begin)") == 0) {
+      out->phase_marks.emplace_back(line, true);
+      pos = marker + 21;
+      continue;
+    }
+    if (comment.compare(marker, 19, "parallel-phase(end)") == 0) {
+      out->phase_marks.emplace_back(line, false);
+      pos = marker + 19;
+      continue;
+    }
     size_t open = comment.find("allow(", pos);
     if (open == std::string::npos) {
       break;
@@ -248,6 +268,7 @@ class Linter {
 
   LintResult Run() {
     AttachStandaloneAllows();
+    BuildPhaseRegions();
     CollectDeclarations();
     Scan();
     for (Finding& f : lex_.comment_findings) {
@@ -285,6 +306,36 @@ class Linter {
       // comment resolves identically either way.
       lex_.allows[comment_line].push_back(allow);
     }
+  }
+
+  // Folds the lexer's parallel-phase(begin/end) markers into [begin, end]
+  // line ranges. Markers arrive in source order; an unmatched begin keeps its
+  // region open to the end of the file (conservative: more code is scanned),
+  // and a stray end is ignored.
+  void BuildPhaseRegions() {
+    int open_line = 0;
+    for (const auto& [line, is_begin] : lex_.phase_marks) {
+      if (is_begin) {
+        if (open_line == 0) {
+          open_line = line;
+        }
+      } else if (open_line != 0) {
+        phase_regions_.emplace_back(open_line, line);
+        open_line = 0;
+      }
+    }
+    if (open_line != 0) {
+      phase_regions_.emplace_back(open_line, std::numeric_limits<int>::max());
+    }
+  }
+
+  bool InParallelPhase(int line) const {
+    for (const auto& [begin, end] : phase_regions_) {
+      if (line >= begin && line <= end) {
+        return true;
+      }
+    }
+    return false;
   }
 
   // Skips a balanced <...> starting at the `<` token index; returns the index
@@ -362,6 +413,7 @@ class Linter {
       ScanD2(i);
       ScanD3Cast(i);
       ScanD4(i);
+      ScanD6(i);
     }
   }
 
@@ -517,6 +569,29 @@ class Linter {
     }
   }
 
+  void ScanD6(size_t i) {
+    // Any accessor-reached RNG draw inside a parallel-phase region: code that
+    // may run on a windowed worker must draw from a stream the shard owns
+    // (a forked member), never through an accessor — even the accessors D4
+    // allowlists, since those streams are shared across shards. Owned member
+    // draws (`rng_.NextFoo(...)`) stay quiet.
+    if (tokens_[i].text == "rng" && Tok(i + 1).text == "(" && Tok(i + 2).text == ")" &&
+        Tok(i + 3).text == "." && Tok(i + 4).text.compare(0, 4, "Next") == 0 &&
+        InParallelPhase(tokens_[i].line)) {
+      std::string receiver;
+      if (i >= 2 && (Tok(i - 1).text == "->" || Tok(i - 1).text == ".")) {
+        receiver = Tok(i - 2).text;
+      }
+      Report(tokens_[i].line, "D6",
+             "RNG accessor draw inside a parallel-phase region (" +
+                 (receiver.empty() ? std::string("this") : receiver) +
+                 "->rng()." + Tok(i + 4).text + ")",
+             "a parallel-phase shard must draw from a stream it owns; fork one at "
+             "construction and draw from the member, or pass the owned Rng* "
+             "explicitly (e.g. Network::DelaySampleFrom)");
+    }
+  }
+
   void Report(int line, const char* rule, std::string message, std::string hint) {
     findings_.push_back(
         Finding{file_, line, rule, std::move(message), std::move(hint), false, {}});
@@ -544,6 +619,7 @@ class Linter {
   std::string file_;
   LexOutput lex_;
   const std::vector<Token>& tokens_;
+  std::vector<std::pair<int, int>> phase_regions_;  // inclusive line ranges
   std::set<std::string> unordered_names_;
   std::set<std::string> float_names_;
   std::vector<Finding> findings_;

@@ -33,6 +33,14 @@
 //   D5  floating-point accumulation (+=/-= on a float/double) inside a
 //       range-for over an unordered container: FP addition is not
 //       associative, so an unspecified reduction order changes the sum.
+//   D6  RNG draws through an accessor (x->rng().NextFoo(...)) inside a
+//       parallel-phase region — code bracketed by the standalone markers
+//       `// detlint: parallel-phase(begin)` and `// detlint:
+//       parallel-phase(end)`, which mark functions the windowed scheduler
+//       may run on a worker thread. Stricter than D4: even the accessors D4
+//       allowlists are shared across shards, so a parallel phase must draw
+//       only from streams it owns (forked members, or an owned Rng* passed
+//       explicitly). An unmatched begin extends to the end of the file.
 //
 // Suppression: `// detlint: allow(D2, <reason>)` on the finding's line, or
 // standalone on the line above (it then applies to the next code line).
@@ -50,7 +58,7 @@ namespace diablo::detlint {
 struct Finding {
   std::string file;
   int line = 0;
-  std::string rule;     // "D1".."D5" or "SUP"
+  std::string rule;     // "D1".."D6" or "SUP"
   std::string message;  // what was matched
   std::string hint;     // how to fix it
   bool suppressed = false;
