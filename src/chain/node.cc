@@ -87,6 +87,63 @@ void ChainContext::SetCpuFactor(int node, double factor) {
   validators_.SetCpuFactor(node, factor);
 }
 
+void ChainContext::SetAdversary(int node, uint8_t bits, bool on) {
+  validators_.SetAdversary(node, bits, on);
+}
+
+void ChainContext::SetCensoredSigners(std::vector<uint32_t> signers) {
+  censored_signers_ = std::move(signers);
+  std::sort(censored_signers_.begin(), censored_signers_.end());
+}
+
+void ChainContext::ApplyVoteAdversaries(std::vector<SimDuration>* delays) {
+  if (!validators_.AnyAdversary()) {
+    return;
+  }
+  for (size_t node = 0; node < delays->size(); ++node) {
+    const uint8_t bits = validators_.Adversary(static_cast<int>(node));
+    if (bits == 0) {
+      continue;
+    }
+    SimDuration& delay = (*delays)[node];
+    if (delay == kUnreachable) {
+      continue;  // already down or partitioned; nothing left to withhold
+    }
+    if ((bits & kAdversaryWithhold) != 0) {
+      delay = kUnreachable;
+      ++stats_.votes_withheld;
+    } else if ((bits & kAdversaryDoubleVote) != 0) {
+      // The honest vote stands; the duplicate is detected and discarded, so
+      // it contributes evidence but never a second quorum slot.
+      ++stats_.double_votes_seen;
+    }
+  }
+}
+
+void ChainContext::ApplyVoteAdversaries(std::vector<SimDuration>* delays,
+                                        const std::vector<uint32_t>& members) {
+  if (!validators_.AnyAdversary()) {
+    return;
+  }
+  const size_t count = std::min(delays->size(), members.size());
+  for (size_t pos = 0; pos < count; ++pos) {
+    const uint8_t bits = validators_.Adversary(static_cast<int>(members[pos]));
+    if (bits == 0) {
+      continue;
+    }
+    SimDuration& delay = (*delays)[pos];
+    if (delay == kUnreachable) {
+      continue;
+    }
+    if ((bits & kAdversaryWithhold) != 0) {
+      delay = kUnreachable;
+      ++stats_.votes_withheld;
+    } else if ((bits & kAdversaryDoubleVote) != 0) {
+      ++stats_.double_votes_seen;
+    }
+  }
+}
+
 void ChainContext::AbandonBlock(const BuiltBlock& built, SimTime now) {
   ++stats_.blocks_abandoned;
   if (built.tx_count == 0) {
@@ -109,10 +166,54 @@ void ChainContext::AbandonBlock(const BuiltBlock& built, SimTime now) {
   mempool_.Requeue(abandon_ids_, abandon_signers_, abandon_ingress_, abandon_ready_);
 }
 
+void ChainContext::RequeueBlockTail(BuiltBlock* built, uint32_t keep,
+                                    SimTime now) {
+  DIABLO_CHECK(static_cast<size_t>(built->tx_begin) + built->tx_count ==
+                   block_txs_.size(),
+               "RequeueBlockTail only applies to the most recently drafted block");
+  if (keep >= built->tx_count) {
+    return;
+  }
+  abandon_ids_.clear();
+  abandon_signers_.clear();
+  abandon_ingress_.clear();
+  abandon_ready_.clear();
+  for (size_t i = static_cast<size_t>(built->tx_begin) + keep;
+       i < block_txs_.size(); ++i) {
+    const TxId id = block_txs_[i];
+    const Transaction& tx = txs_.at(id);
+    abandon_ids_.push_back(id);
+    abandon_signers_.push_back(tx.account);
+    abandon_ingress_.push_back(tx.submit_time);
+    abandon_ready_.push_back(now);
+  }
+  mempool_.Requeue(abandon_ids_, abandon_signers_, abandon_ingress_, abandon_ready_);
+  block_txs_.resize(static_cast<size_t>(built->tx_begin) + keep);
+  built->tx_count = keep;
+  built->gas = 0;
+  built->bytes = kBlockHeaderBytes;
+  const int64_t* gas_table = txs_.gas_data();
+  const int32_t* bytes_table = txs_.bytes_data();
+  for (const TxId id : BlockTxs(*built)) {
+    built->gas += gas_table[id];
+    built->bytes += bytes_table[id];
+  }
+}
+
 ChainContext::BuiltBlock ChainContext::BuildBlock(SimTime now, int proposer) {
   // The shared-pool model makes drafting proposer-agnostic; the proposer
-  // index only matters for straggler injection below.
+  // index only matters for straggler and adversary injection below.
   BuiltBlock built;
+
+  // A lazy proposer seals a deliberately empty block: no pool scan, no
+  // execution, just the sealing itself.
+  if (validators_.AnyAdversary() &&
+      (validators_.Adversary(proposer) & kAdversaryLazy) != 0 &&
+      !NodeDown(proposer)) {
+    built.tx_begin = static_cast<uint32_t>(block_txs_.size());
+    ++stats_.lazy_proposals;
+    return built;
+  }
 
   // Congestion model: a growing pending set erodes the usable block
   // capacity by threshold / (threshold + backlog) — the node spends its
@@ -158,6 +259,40 @@ ChainContext::BuiltBlock ChainContext::BuildBlock(SimTime now, int proposer) {
   for (const TxId id : expired) {
     ++stats_.txs_expired;
     DropTx(id);
+  }
+
+  // Censorship: a censoring proposer silently leaves the targeted signers'
+  // transactions out of its draft. They go back to the pool (takeable
+  // immediately), so an honest proposer picks them up later — censorship
+  // delays the victims, it cannot drop them.
+  if (!censored_signers_.empty() && built.tx_count > 0 &&
+      (validators_.Adversary(proposer) & kAdversaryCensor) != 0 &&
+      !NodeDown(proposer)) {
+    abandon_ids_.clear();
+    abandon_signers_.clear();
+    abandon_ingress_.clear();
+    abandon_ready_.clear();
+    size_t write = built.tx_begin;
+    for (size_t i = built.tx_begin; i < block_txs_.size(); ++i) {
+      const TxId id = block_txs_[i];
+      const Transaction& tx = txs_.at(id);
+      if (std::binary_search(censored_signers_.begin(), censored_signers_.end(),
+                             tx.account)) {
+        ++stats_.txs_censored;
+        abandon_ids_.push_back(id);
+        abandon_signers_.push_back(tx.account);
+        abandon_ingress_.push_back(tx.submit_time);
+        abandon_ready_.push_back(now);
+      } else {
+        block_txs_[write++] = id;
+      }
+    }
+    if (!abandon_ids_.empty()) {
+      block_txs_.resize(write);
+      built.tx_count = static_cast<uint32_t>(write) - built.tx_begin;
+      mempool_.Requeue(abandon_ids_, abandon_signers_, abandon_ingress_,
+                       abandon_ready_);
+    }
   }
 
   for (const TxId id : BlockTxs(built)) {
@@ -207,6 +342,27 @@ void ChainContext::FinalizeBlock(uint64_t height, int proposer, BuiltBlock&& bui
                "finalized block's (tx_begin, tx_count) range escapes the block-tx pool");
   DIABLO_CHECK(final_time >= proposed_at,
                "a block cannot finalize before it was proposed");
+
+  // Commit-safety invariant: no two committed blocks may ever share a
+  // height with different contents — whatever adversary schedule is armed,
+  // the engines' equivocation defenses must funnel exactly one proposal per
+  // height into FinalizeBlock. Pure observer: hashes already-final data.
+  DIABLO_CHECKED_ONLY({
+    Sha256 hasher;
+    hasher.Update(&height, sizeof(height));
+    hasher.Update(&built.gas, sizeof(built.gas));
+    hasher.Update(&built.tx_count, sizeof(built.tx_count));
+    const std::span<const TxId> ids = BlockTxs(built);
+    hasher.Update(ids.data(), ids.size_bytes());
+    const Digest256 digest = hasher.Finish();
+    if (stats_.blocks_produced > 1 && height <= last_commit_height_) {
+      DIABLO_CHECK(height == last_commit_height_ && digest == last_commit_digest_,
+                   "safety violation: two committed blocks at one height "
+                   "with different contents");
+    }
+    last_commit_height_ = height;
+    last_commit_digest_ = digest;
+  })
 
   Block block;
   block.height = height;

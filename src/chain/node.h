@@ -100,6 +100,13 @@ struct ChainStats {
   // Drafted blocks whose round failed (leader crash / lost quorum); their
   // transactions went back to the pool.
   uint64_t blocks_abandoned = 0;
+  // Byzantine evidence, counted by the engines' detection hooks. Zero on
+  // every healthy run.
+  uint64_t equivocations_seen = 0;  // conflicting proposals detected
+  uint64_t double_votes_seen = 0;   // duplicate votes discarded
+  uint64_t votes_withheld = 0;      // expected votes that never arrived
+  uint64_t txs_censored = 0;        // transactions refused by a censoring proposer
+  uint64_t lazy_proposals = 0;      // deliberately empty blocks sealed
 };
 
 class ChainContext {
@@ -169,6 +176,42 @@ class ChainContext {
   // its proposer-side block preparation takes 1/factor as long.
   void SetCpuFactor(int node, double factor);
 
+  // --- adversary hooks (driven by the FaultInjector) ----------------------
+  // Arms / disarms one adversary behavior bit (kAdversary* in
+  // validator_table.h) on `node`. The engines consult the bits through the
+  // helpers below; a healthy run never allocates the underlying table.
+  void SetAdversary(int node, uint8_t bits, bool on);
+  uint8_t AdversaryBits(int node) const { return validators_.Adversary(node); }
+  bool AnyAdversary() const { return validators_.AnyAdversary(); }
+
+  // Censorship target set: signer ids the censoring proposers refuse.
+  // `signers` need not be sorted; the context keeps a sorted copy.
+  void SetCensoredSigners(std::vector<uint32_t> signers);
+  void ClearCensoredSigners() { censored_signers_.clear(); }
+
+  // True while `node` is alive and armed with the given behavior.
+  bool ProposerEquivocates(int node) const {
+    return (AdversaryBits(node) & kAdversaryEquivocate) != 0 && !NodeDown(node);
+  }
+  bool VoteWithheld(int node) const {
+    return (AdversaryBits(node) & kAdversaryWithhold) != 0 && !NodeDown(node);
+  }
+
+  // Detection bookkeeping: one conflicting-proposal pair witnessed.
+  void RecordEquivocation() { ++stats_.equivocations_seen; }
+
+  // Applies the armed vote-stage adversaries to one round's arrival-delay
+  // vector (indexed by node): withholding validators become kUnreachable
+  // (the quorum kernels then exclude them), double-voters are counted as
+  // evidence — the duplicate vote itself is discarded, so it never helps a
+  // quorum. Early-outs when no adversary is armed; entries already
+  // kUnreachable (down / partitioned) are left untouched.
+  void ApplyVoteAdversaries(std::vector<SimDuration>* delays);
+  // Committee-sampled variant (Algorand's large-N path): `delays` is indexed
+  // by committee position, `members` maps positions to node indices.
+  void ApplyVoteAdversaries(std::vector<SimDuration>* delays,
+                            const std::vector<uint32_t>& members);
+
   // --- engine helpers -----------------------------------------------------
   // Transaction ids of drafted blocks live in one flat append-only pool on
   // the context (each id is written there once, by TakeReady, and never
@@ -206,6 +249,13 @@ class ChainContext {
   // accounting; they become takeable again at `now`. Engines call this on
   // the view-change paths a fault can force.
   void AbandonBlock(const BuiltBlock& built, SimTime now);
+
+  // Shrinks a drafted block to its first `keep` transactions, requeueing the
+  // tail (takeable again at `now`) and re-deriving gas/bytes. Only valid for
+  // the most recently built block — its ids must still be the tail of the
+  // block-tx pool. DBFT uses this when equivocating vice-blocks are excluded
+  // from a superblock.
+  void RequeueBlockTail(BuiltBlock* built, uint32_t keep, SimTime now);
 
   void DropTx(TxId id, VmStatus reason = VmStatus::kOk);
 
@@ -248,6 +298,13 @@ class ChainContext {
   std::vector<uint32_t> abandon_signers_;
   std::vector<SimTime> abandon_ingress_;
   std::vector<SimTime> abandon_ready_;
+  // Sorted signer ids the active censorship window targets; empty otherwise.
+  std::vector<uint32_t> censored_signers_;
+  // Checked build: commit-safety witness — FinalizeBlock asserts no two
+  // committed blocks ever share a height with different contents, whatever
+  // adversary schedule is armed.
+  DIABLO_CHECKED_ONLY(uint64_t last_commit_height_ = 0;
+                      Digest256 last_commit_digest_{};)
 };
 
 // Strategy interface: each consensus protocol schedules its own rounds

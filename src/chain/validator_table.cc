@@ -39,6 +39,28 @@ void ValidatorTable::SetCpuFactor(int index, double factor) {
   cpu_overrides_.insert(it, {key, factor});
 }
 
+void ValidatorTable::SetAdversary(int index, uint8_t bits, bool on) {
+  if (adversary_.empty()) {
+    if (!on) {
+      return;
+    }
+    adversary_.assign(region_.size(), 0);
+  }
+  uint8_t& entry = adversary_[static_cast<size_t>(index)];
+  const bool was_set = entry != 0;
+  if (on) {
+    entry = static_cast<uint8_t>(entry | bits);
+  } else {
+    entry = static_cast<uint8_t>(entry & ~bits);
+  }
+  const bool now_set = entry != 0;
+  if (now_set && !was_set) {
+    ++adversary_count_;
+  } else if (!now_set && was_set) {
+    --adversary_count_;
+  }
+}
+
 double ValidatorTable::CpuFactor(int index) const {
   const uint32_t key = static_cast<uint32_t>(index);
   const auto it = std::lower_bound(

@@ -54,18 +54,40 @@ class ValidatorTable {
   // 1.0 unless an override was set for this validator.
   double CpuFactor(int index) const;
 
+  // --- adversary bits ------------------------------------------------------
+  // One behavior byte per validator, allocated lazily on the first armed
+  // Byzantine window, so healthy runs pay one emptiness check and zero
+  // bytes. Bits combine: a node can equivocate *and* withhold.
+  void SetAdversary(int index, uint8_t bits, bool on);
+  uint8_t Adversary(int index) const {
+    return adversary_.empty() ? 0 : adversary_[static_cast<size_t>(index)];
+  }
+  // True while any validator has any adversary bit set — the engines'
+  // healthy-path early-out.
+  bool AnyAdversary() const { return adversary_count_ > 0; }
+
   // Bytes owned by the table; asserted against the fig3-XL per-validator
   // budget.
   size_t ApproxBytes() const {
     return sizeof(*this) + region_.capacity() + down_.ApproxBytes() +
-           cpu_overrides_.capacity() * sizeof(cpu_overrides_[0]);
+           cpu_overrides_.capacity() * sizeof(cpu_overrides_[0]) +
+           adversary_.capacity();
   }
 
  private:
   std::vector<uint8_t> region_;
   VoteBitset down_;
   std::vector<std::pair<uint32_t, double>> cpu_overrides_;
+  std::vector<uint8_t> adversary_;
+  size_t adversary_count_ = 0;  // validators with a nonzero adversary byte
 };
+
+// Adversary behavior bits for ValidatorTable::SetAdversary.
+inline constexpr uint8_t kAdversaryEquivocate = 1u << 0;
+inline constexpr uint8_t kAdversaryDoubleVote = 1u << 1;
+inline constexpr uint8_t kAdversaryWithhold = 1u << 2;
+inline constexpr uint8_t kAdversaryCensor = 1u << 3;
+inline constexpr uint8_t kAdversaryLazy = 1u << 4;
 
 }  // namespace diablo
 

@@ -127,12 +127,70 @@ bool FaultPair(const YamlNode& node, bool* scoped, Region* a, Region* b,
   return true;
 }
 
+// Rejects keys a fault kind does not understand, pointing at the offending
+// source line — a typo ("restat:") must fail loudly, not silently fall back
+// to a default.
+bool CheckFaultKeys(const std::string& kind, const YamlNode& body,
+                    std::initializer_list<std::string_view> allowed,
+                    std::string* error) {
+  if (!body.IsMap()) {
+    return true;
+  }
+  for (const auto& [key, value] : body.entries) {
+    bool known = false;
+    for (const std::string_view candidate : allowed) {
+      known = known || key == candidate;
+    }
+    if (!known) {
+      *error = StrFormat("%s fault has unknown key '%s' (line %d)",
+                         kind.c_str(), key.c_str(),
+                         value.line > 0 ? value.line : body.line);
+      return false;
+    }
+  }
+  return true;
+}
+
+// Byzantine adversary scope: an explicit `nodes:` list or a `fraction:` of
+// the deployment (the injector resolves the fraction deterministically).
+bool FaultAdversaries(const std::string& kind, const YamlNode& body,
+                      FaultEvent* event, std::string* error) {
+  const YamlNode* nodes = body.Find("nodes");
+  const YamlNode* fraction = body.Find("fraction");
+  if (nodes != nullptr) {
+    if (!nodes->IsList()) {
+      *error = kind + " fault 'nodes' must be a list";
+      return false;
+    }
+    for (const YamlNode& item : nodes->items) {
+      int64_t index = -1;
+      if (!item.AsInt64(&index)) {
+        *error = "malformed " + kind + " node index: " + item.scalar;
+        return false;
+      }
+      event->nodes.push_back(static_cast<int>(index));
+    }
+  }
+  if (fraction != nullptr && !fraction->AsDouble(&event->fraction)) {
+    *error = "malformed " + kind + " 'fraction': " + fraction->scalar;
+    return false;
+  }
+  if ((nodes == nullptr) == (fraction == nullptr)) {
+    *error = kind + " fault needs exactly one of 'nodes' or 'fraction'";
+    return false;
+  }
+  return true;
+}
+
 // One `- kind: { ... }` entry of the top-level `faults:` list.
 bool ParseFaultEntry(const std::string& kind, const YamlNode& body,
                      FaultSchedule* schedule, std::string* error) {
   FaultEvent event;
   if (kind == "crash") {
     event.kind = FaultKind::kCrash;
+    if (!CheckFaultKeys(kind, body, {"node", "at", "restart"}, error)) {
+      return false;
+    }
     int64_t index = -1;
     const YamlNode* node = body.Find("node");
     if (node == nullptr || !node->AsInt64(&index)) {
@@ -146,6 +204,9 @@ bool ParseFaultEntry(const std::string& kind, const YamlNode& body,
     }
   } else if (kind == "partition") {
     event.kind = FaultKind::kPartition;
+    if (!CheckFaultKeys(kind, body, {"nodes", "region", "from", "to"}, error)) {
+      return false;
+    }
     const YamlNode* region = body.Find("region");
     const YamlNode* nodes = body.Find("nodes");
     if (region != nullptr) {
@@ -173,6 +234,9 @@ bool ParseFaultEntry(const std::string& kind, const YamlNode& body,
     }
   } else if (kind == "loss") {
     event.kind = FaultKind::kLoss;
+    if (!CheckFaultKeys(kind, body, {"rate", "between", "from", "to"}, error)) {
+      return false;
+    }
     const YamlNode* rate = body.Find("rate");
     if (rate == nullptr || !rate->AsDouble(&event.loss_rate)) {
       *error = "loss fault missing 'rate'";
@@ -186,6 +250,10 @@ bool ParseFaultEntry(const std::string& kind, const YamlNode& body,
     }
   } else if (kind == "delay") {
     event.kind = FaultKind::kDelaySpike;
+    if (!CheckFaultKeys(kind, body, {"extra_ms", "between", "from", "to"},
+                        error)) {
+      return false;
+    }
     const YamlNode* extra = body.Find("extra_ms");
     double extra_ms = 0;
     if (extra == nullptr || !extra->AsDouble(&extra_ms)) {
@@ -201,6 +269,10 @@ bool ParseFaultEntry(const std::string& kind, const YamlNode& body,
     }
   } else if (kind == "straggler") {
     event.kind = FaultKind::kStraggler;
+    if (!CheckFaultKeys(kind, body, {"node", "cpu_factor", "from", "to"},
+                        error)) {
+      return false;
+    }
     int64_t index = -1;
     const YamlNode* node = body.Find("node");
     if (node == nullptr || !node->AsInt64(&index)) {
@@ -217,8 +289,47 @@ bool ParseFaultEntry(const std::string& kind, const YamlNode& body,
         !FaultTime(body, "to", false, -1, &event.until, error)) {
       return false;
     }
+  } else if (kind == "equivocate" || kind == "double-vote" ||
+             kind == "withhold" || kind == "lazy") {
+    event.kind = kind == "equivocate"    ? FaultKind::kEquivocate
+                 : kind == "double-vote" ? FaultKind::kDoubleVote
+                 : kind == "withhold"    ? FaultKind::kWithholdVotes
+                                         : FaultKind::kLazyProposer;
+    if (!CheckFaultKeys(kind, body, {"nodes", "fraction", "from", "to"},
+                        error) ||
+        !FaultAdversaries(kind, body, &event, error) ||
+        !FaultTime(body, "from", true, 0, &event.at, error) ||
+        !FaultTime(body, "to", false, -1, &event.until, error)) {
+      return false;
+    }
+  } else if (kind == "censor") {
+    event.kind = FaultKind::kCensor;
+    if (!CheckFaultKeys(kind, body,
+                        {"nodes", "fraction", "signers", "from", "to"},
+                        error) ||
+        !FaultAdversaries(kind, body, &event, error)) {
+      return false;
+    }
+    const YamlNode* signers = body.Find("signers");
+    if (signers == nullptr || !signers->IsList()) {
+      *error = "censor fault needs a 'signers' list";
+      return false;
+    }
+    for (const YamlNode& item : signers->items) {
+      int64_t signer = -1;
+      if (!item.AsInt64(&signer)) {
+        *error = "malformed censored signer id: " + item.scalar;
+        return false;
+      }
+      event.censored_signers.push_back(static_cast<int>(signer));
+    }
+    if (!FaultTime(body, "from", true, 0, &event.at, error) ||
+        !FaultTime(body, "to", false, -1, &event.until, error)) {
+      return false;
+    }
   } else {
-    *error = "unknown fault kind: " + kind;
+    *error = StrFormat("unknown fault kind: %s (line %d)", kind.c_str(),
+                       body.line);
     return false;
   }
   schedule->events.push_back(std::move(event));

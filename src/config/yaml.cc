@@ -114,6 +114,7 @@ class Parser {
   YamlNode ParseSequence(size_t& pos, int indent) {
     YamlNode node;
     node.type = YamlNode::Type::kList;
+    node.line = lines_[pos].number;
     while (pos < lines_.size() && lines_[pos].indent == indent &&
            (StartsWith(lines_[pos].content, "- ") || lines_[pos].content == "-")) {
       const Line& line = lines_[pos];
@@ -141,6 +142,7 @@ class Parser {
   YamlNode ParseMapping(size_t& pos, int indent) {
     YamlNode node;
     node.type = YamlNode::Type::kMap;
+    node.line = lines_[pos].number;
     while (pos < lines_.size() && lines_[pos].indent == indent &&
            !StartsWith(lines_[pos].content, "- ")) {
       const Line& line = lines_[pos];
@@ -203,6 +205,9 @@ class Parser {
       value.scalar = Unquote(rest);
     }
 
+    if (value.line == 0) {
+      value.line = line_no;
+    }
     if (!tag.empty()) {
       value.tag = tag;
     }
@@ -219,6 +224,7 @@ class Parser {
       Fail(line_no, "unterminated flow value");
     }
     YamlNode node;
+    node.line = line_no;
     if (text[cursor] == '[') {
       node.type = YamlNode::Type::kList;
       ++cursor;
@@ -268,7 +274,9 @@ class Parser {
       ++cursor;
       return node;
     }
-    return ParseFlowScalar(text, cursor);
+    YamlNode scalar = ParseFlowScalar(text, cursor);
+    scalar.line = line_no;
+    return scalar;
   }
 
   YamlNode ParseFlowValue(const std::string& text, size_t& cursor, int line_no) {
@@ -302,7 +310,9 @@ class Parser {
     if (cursor < text.size() && (text[cursor] == '[' || text[cursor] == '{')) {
       return ParseFlow(text, cursor, line_no);
     }
-    return ParseFlowScalar(text, cursor);
+    YamlNode scalar = ParseFlowScalar(text, cursor);
+    scalar.line = line_no;
+    return scalar;
   }
 
   YamlNode ParseFlowScalar(const std::string& text, size_t& cursor) {

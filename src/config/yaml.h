@@ -18,6 +18,7 @@ class YamlNode {
   enum class Type { kNull, kScalar, kList, kMap };
 
   Type type = Type::kNull;
+  int line = 0;        // 1-based source line this node started on; 0 = unknown
   std::string tag;     // without the '!', empty when untagged
   std::string scalar;  // valid when kScalar
   std::vector<YamlNode> items;                             // kList

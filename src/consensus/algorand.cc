@@ -38,6 +38,17 @@ void AlgorandEngine::Round() {
     return;
   }
 
+  // An equivocating sortition winner gossips two credentialed proposals;
+  // the soft vote splits between them, certification fails, and the next
+  // seed reassigns the proposer — BA* reaches the empty block instead.
+  if (ctx_->ProposerEquivocates(proposer)) {
+    ctx_->RecordEquivocation();
+    ++ctx_->stats().view_changes;
+    ++height_;
+    ctx_->sim()->Schedule(params.step_timeout * 3, [this] { Round(); });
+    return;
+  }
+
   ChainContext::BuiltBlock built = ctx_->BuildBlock(t0, proposer);
   const SimDuration build_time = built.build_time;
 
@@ -68,6 +79,10 @@ void AlgorandEngine::Round() {
         senders[member] = std::max<SimDuration>(start, step_floor);
       }
     }
+    // Committee members that withhold (or double-cast) their votes: the
+    // slot is node-indexed here, and only committee slots are reachable, so
+    // exactly the selected adversaries are affected.
+    ctx_->ApplyVoteAdversaries(&senders);
     // BA* thresholds sit just below 3/4 of the expected committee weight.
     const size_t threshold = std::max<size_t>(
         1, static_cast<size_t>(std::ceil(0.685 * static_cast<double>(committee.size()))));
@@ -109,6 +124,9 @@ void AlgorandEngine::Round() {
                             ? kUnreachable
                             : std::max<SimDuration>(start, step_floor));
       }
+      // `times` is committee-position-indexed; map positions back to node
+      // ids to find the withholding members.
+      ctx_->ApplyVoteAdversaries(&times, committee);
       const size_t threshold = std::max<size_t>(
           1, static_cast<size_t>(
                  std::ceil(0.685 * static_cast<double>(committee.size()))));

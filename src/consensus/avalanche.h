@@ -21,8 +21,10 @@ class AvalancheEngine : public ConsensusEngine {
  private:
   void ProduceBlock();
 
-  // Time for beta consecutive Snowball query rounds from `node`.
-  SimDuration DecisionTime(int node);
+  // Time for beta consecutive Snowball query rounds from `node`. A
+  // `conflicted` decision (equivocating issuer) needs twice the rounds to
+  // re-converge from the metastable split.
+  SimDuration DecisionTime(int node, bool conflicted);
 
   Rng rng_;
   uint64_t height_ = 1;

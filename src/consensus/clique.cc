@@ -27,6 +27,14 @@ void CliqueEngine::ProduceBlock() {
     return;
   }
 
+  // An equivocating signer seals two conflicting blocks for its turn; peers
+  // keep the first-received seal (lowest-hash tiebreak in geth), so the
+  // conflict only leaves evidence — the confirmation window already absorbs
+  // the short fork.
+  if (ctx_->ProposerEquivocates(proposer)) {
+    ctx_->RecordEquivocation();
+  }
+
   ChainContext::BuiltBlock built = ctx_->BuildBlock(t0, proposer);
   const SimDuration build_time = built.build_time;
   const auto& hosts = ctx_->hosts();

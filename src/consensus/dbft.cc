@@ -25,6 +25,26 @@ void DbftEngine::Round() {
   const SimDuration per_node_work =
       built.build_time / static_cast<SimDuration>(std::max(1, n));
 
+  // Equivocating proposers submit conflicting vice-blocks; the per-proposer
+  // binary consensus decides 0 for them, so their share of the superblock is
+  // excluded and its transactions return to the pool for the next round.
+  if (ctx_->AnyAdversary() && built.tx_count > 0) {
+    int equivocators = 0;
+    for (int i = 0; i < n; ++i) {
+      if (ctx_->ProposerEquivocates(i)) {
+        ++equivocators;
+        ctx_->RecordEquivocation();
+      }
+    }
+    if (equivocators > 0) {
+      const uint32_t keep = static_cast<uint32_t>(
+          (static_cast<uint64_t>(built.tx_count) *
+           static_cast<uint64_t>(n - equivocators)) /
+          static_cast<uint64_t>(n));
+      ctx_->RequeueBlockTail(&built, keep, t0);
+    }
+  }
+
   // Reliable broadcast of the mini-blocks: every node disseminates ~1/n of
   // the payload concurrently — no leader uplink on the critical path. The
   // slowest mini-block dissemination gates the round; sample one
@@ -46,11 +66,14 @@ void DbftEngine::Round() {
   }
 
   // Binary consensus per proposer, run concurrently: two all-to-all vote
-  // rounds over 2f+1 quorums decide the whole batch.
+  // rounds over 2f+1 quorums decide the whole batch. Withheld votes leave
+  // the sender set; double votes are discarded as evidence.
+  ctx_->ApplyVoteAdversaries(&delivered);
   const double hops = GossipHopScale(n);
   std::vector<SimDuration>& echoed = plane->stage_b;
   QuorumArrivalAllInto(ctx_->vote_delays(), delivered, quorum, hops, plane, &echoed,
                        /*hint_slot=*/0);
+  ctx_->ApplyVoteAdversaries(&echoed);
   std::vector<SimDuration>& decided = plane->stage_c;
   QuorumArrivalAllInto(ctx_->vote_delays(), echoed, quorum, hops, plane, &decided,
                        /*hint_slot=*/1);

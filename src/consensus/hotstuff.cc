@@ -27,6 +27,17 @@ void HotStuffEngine::Round() {
     return;
   }
 
+  // An equivocating leader proposes two blocks for the view; the vote rule
+  // ("vote once per view") splits the votes, no quorum certificate forms,
+  // and the pacemaker advances past the recorded evidence.
+  if (ctx_->ProposerEquivocates(leader)) {
+    ctx_->RecordEquivocation();
+    ++ctx_->stats().view_changes;
+    ++round_;
+    ctx_->sim()->Schedule(params.round_timeout, [this] { Round(); });
+    return;
+  }
+
   // Pacemaker timeout under saturation (Diem's mempool caps keep the
   // pending set bounded, so unlike Quorum this rarely cascades, §6.3).
   const SimDuration pool_scan = ctx_->PoolScanTime();
@@ -56,6 +67,9 @@ void HotStuffEngine::Round() {
           build_time + bcast[static_cast<size_t>(i)] + follower_exec;
     }
   }
+  // Withheld votes never reach the next leader's certificate; double votes
+  // are discarded as evidence by the one-vote-per-view rule.
+  ctx_->ApplyVoteAdversaries(&received);
   const SimDuration qc_at_next_leader =
       QuorumArrivalInto(ctx_->vote_delays(), received,
                         static_cast<size_t>(next_leader), quorum, 1.0, plane);

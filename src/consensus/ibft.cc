@@ -24,6 +24,17 @@ void IbftEngine::Round() {
     return;
   }
 
+  // An equivocating leader sends conflicting PRE-PREPAREs: validators
+  // cross-check the proposal digests during PREPARE, record the evidence,
+  // and force a round change — neither proposal can gather a quorum.
+  if (ctx_->ProposerEquivocates(leader)) {
+    ctx_->RecordEquivocation();
+    ++ctx_->stats().view_changes;
+    ++round_;
+    ctx_->sim()->Schedule(params.round_timeout, [this] { Round(); });
+    return;
+  }
+
   // View change when the leader cannot even scan the pending set within the
   // round timeout (saturation by a constantly high workload, §6.3). The
   // exponential backoff mirrors IBFT's round-change timer doubling; the
@@ -63,10 +74,15 @@ void IbftEngine::Round() {
 
   // PREPARE then COMMIT: all-to-all vote rounds over 2f+1 quorums; on large
   // deployments the n^2 vote flood relays through the devp2p mesh.
+  // Withholding validators never enter the sender set (their slot turns
+  // kUnreachable), so the 2f+1 quorums count only votes actually cast;
+  // double votes are discarded as evidence before they reach the tally.
+  ctx_->ApplyVoteAdversaries(&preprepared);
   const double hops = GossipHopScale(n);
   std::vector<SimDuration>& prepared = plane->stage_b;
   QuorumArrivalAllInto(ctx_->vote_delays(), preprepared, quorum, hops, plane,
                        &prepared, /*hint_slot=*/0);
+  ctx_->ApplyVoteAdversaries(&prepared);
   std::vector<SimDuration>& committed = plane->stage_c;
   QuorumArrivalAllInto(ctx_->vote_delays(), prepared, quorum, hops, plane,
                        &committed, /*hint_slot=*/1);

@@ -25,6 +25,13 @@ void RaftEngine::Round() {
     return;
   }
 
+  // An equivocating Raft leader ships divergent AppendEntries; the log
+  // matching property keeps the first entry per index, so the conflict dies
+  // as recorded evidence rather than a fork (first-proposal-wins).
+  if (ctx_->ProposerEquivocates(leader_)) {
+    ctx_->RecordEquivocation();
+  }
+
   ChainContext::BuiltBlock built = ctx_->BuildBlock(t0, leader_);
   const SimDuration build_time = built.build_time;
 
@@ -43,6 +50,8 @@ void RaftEngine::Round() {
           build_time + bcast[static_cast<size_t>(i)] + follower_exec;
     }
   }
+  // Followers that withhold their acks drop out of the majority count.
+  ctx_->ApplyVoteAdversaries(&acked);
   const SimDuration commit = QuorumArrivalInto(
       ctx_->vote_delays(), acked, static_cast<size_t>(leader_), majority, 1.0, plane);
   if (commit == kUnreachable) {

@@ -30,6 +30,13 @@ void SolanaEngine::Slot() {
     return;
   }
 
+  // A leader shredding two conflicting versions of its slot loses to the
+  // first-shred-wins rule TowerBFT voters lock on; duplicate-block proofs
+  // are gossiped as evidence and the slot proceeds on the winning version.
+  if (ctx_->ProposerEquivocates(leader)) {
+    ctx_->RecordEquivocation();
+  }
+
   ChainContext::BuiltBlock built = ctx_->BuildBlock(t0, leader);
 
   // Turbine dissemination runs concurrently with PoH; the slot cadence does

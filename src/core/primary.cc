@@ -309,6 +309,20 @@ RunResult Primary::RunStreams(std::vector<WorkStream> streams,
     AddResilienceMetrics(&result.report, ctx.txs(), horizon,
                          setup_.faults.HealTimes());
   }
+  // Evidence counters are emitted only when the schedule actually declares
+  // a Byzantine window, so honest-fault reports don't change shape.
+  bool any_byzantine = false;
+  for (const FaultEvent& event : setup_.faults.events) {
+    any_byzantine = any_byzantine || IsByzantine(event.kind);
+  }
+  if (any_byzantine) {
+    result.report.byzantine = true;
+    result.report.equivocations_seen = ctx.stats().equivocations_seen;
+    result.report.double_votes_seen = ctx.stats().double_votes_seen;
+    result.report.votes_withheld = ctx.stats().votes_withheld;
+    result.report.txs_censored = ctx.stats().txs_censored;
+    result.report.lazy_proposals = ctx.stats().lazy_proposals;
+  }
   if (!setup_.results_json_path.empty()) {
     WriteResultsJsonFile(setup_.results_json_path, result.report, ctx.txs());
   }

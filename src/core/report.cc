@@ -154,6 +154,15 @@ std::string Report::ToText() const {
       }
     }
   }
+  if (byzantine) {
+    out += StrFormat("equivocations: %llu  double votes: %llu  votes withheld: %llu\n",
+                     static_cast<unsigned long long>(equivocations_seen),
+                     static_cast<unsigned long long>(double_votes_seen),
+                     static_cast<unsigned long long>(votes_withheld));
+    out += StrFormat("txs censored: %llu  lazy proposals: %llu\n",
+                     static_cast<unsigned long long>(txs_censored),
+                     static_cast<unsigned long long>(lazy_proposals));
+  }
   return out;
 }
 

@@ -52,6 +52,16 @@ struct Report {
   // commit at or after it; -1 when the chain never recovered in view.
   std::vector<double> recoveries;
 
+  // --- Byzantine evidence (adversary runs only) ---
+  // `byzantine` gates emission the same way `resilience` does: healthy and
+  // honest-fault outputs are byte-identical to before these fields existed.
+  bool byzantine = false;
+  uint64_t equivocations_seen = 0;
+  uint64_t double_votes_seen = 0;
+  uint64_t votes_withheld = 0;
+  uint64_t txs_censored = 0;
+  uint64_t lazy_proposals = 0;
+
   // Multi-line human-readable summary (the primary's --stat output).
   std::string ToText() const;
 };

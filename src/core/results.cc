@@ -56,6 +56,18 @@ std::string ReportToJson(const Report& report) {
     }
     out += "]";
   }
+  if (report.byzantine) {
+    out += StrFormat(", \"equivocations_seen\": %llu",
+                     static_cast<unsigned long long>(report.equivocations_seen));
+    out += StrFormat(", \"double_votes_seen\": %llu",
+                     static_cast<unsigned long long>(report.double_votes_seen));
+    out += StrFormat(", \"votes_withheld\": %llu",
+                     static_cast<unsigned long long>(report.votes_withheld));
+    out += StrFormat(", \"txs_censored\": %llu",
+                     static_cast<unsigned long long>(report.txs_censored));
+    out += StrFormat(", \"lazy_proposals\": %llu",
+                     static_cast<unsigned long long>(report.lazy_proposals));
+  }
   out += "}";
   return out;
 }

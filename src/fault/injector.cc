@@ -1,8 +1,30 @@
 #include "src/fault/injector.h"
 
+#include <cmath>
 #include <utility>
 
 namespace diablo {
+namespace {
+
+// Which ValidatorTable behavior bit a Byzantine fault kind arms.
+uint8_t AdversaryBitsFor(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEquivocate:
+      return kAdversaryEquivocate;
+    case FaultKind::kDoubleVote:
+      return kAdversaryDoubleVote;
+    case FaultKind::kWithholdVotes:
+      return kAdversaryWithhold;
+    case FaultKind::kCensor:
+      return kAdversaryCensor;
+    case FaultKind::kLazyProposer:
+      return kAdversaryLazy;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
 
 FaultInjector::FaultInjector(FaultSchedule schedule, ChainContext* ctx)
     : schedule_(std::move(schedule)), ctx_(ctx) {}
@@ -16,6 +38,22 @@ std::vector<int> FaultInjector::PartitionNodes(const FaultEvent& event) const {
     if (ctx_->deployment().NodeRegion(node) == event.region) {
       nodes.push_back(node);
     }
+  }
+  return nodes;
+}
+
+std::vector<int> FaultInjector::AdversaryNodes(const FaultEvent& event) const {
+  if (!event.nodes.empty()) {
+    return event.nodes;
+  }
+  const int n = ctx_->node_count();
+  const int count = std::max(
+      1, static_cast<int>(std::lround(event.fraction * static_cast<double>(n))));
+  std::vector<int> nodes;
+  nodes.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // Stride evenly across the deployment; distinct for count <= n.
+    nodes.push_back(static_cast<int>((static_cast<int64_t>(i) * n) / count));
   }
   return nodes;
 }
@@ -108,6 +146,57 @@ bool FaultInjector::Install(std::string* error) {
         }
         break;
       }
+      case FaultKind::kEquivocate:
+      case FaultKind::kDoubleVote:
+      case FaultKind::kWithholdVotes:
+      case FaultKind::kCensor:
+      case FaultKind::kLazyProposer: {
+        // Byzantine windows arm behavior bits on the resolved adversaries;
+        // the consensus engines react to the bits, not to the schedule.
+        const std::vector<int> nodes = AdversaryNodes(event);
+        const uint8_t bits = AdversaryBitsFor(event.kind);
+        const FaultKind kind = event.kind;
+        std::vector<uint32_t> signers(event.censored_signers.begin(),
+                                      event.censored_signers.end());
+        sim->ScheduleAt(event.at, [this, nodes, bits, kind, signers] {
+          for (const int node : nodes) {
+            ctx_->SetAdversary(node, bits, true);
+          }
+          switch (kind) {
+            case FaultKind::kEquivocate:
+              ++stats_.equivocate_windows;
+              break;
+            case FaultKind::kDoubleVote:
+              ++stats_.double_vote_windows;
+              break;
+            case FaultKind::kWithholdVotes:
+              ++stats_.withhold_windows;
+              break;
+            case FaultKind::kCensor:
+              ctx_->SetCensoredSigners(signers);
+              ++stats_.censor_windows;
+              break;
+            case FaultKind::kLazyProposer:
+              ++stats_.lazy_windows;
+              break;
+            default:
+              break;
+          }
+        });
+        if (event.until >= 0) {
+          sim->ScheduleAt(event.until, [this, nodes, bits, kind] {
+            for (const int node : nodes) {
+              ctx_->SetAdversary(node, bits, false);
+            }
+            if (kind == FaultKind::kCensor) {
+              ctx_->ClearCensoredSigners();
+            }
+          });
+        }
+        break;
+      }
+      case FaultKind::kCount:
+        break;
     }
   }
   return true;

@@ -22,6 +22,12 @@ struct FaultStats {
   uint64_t loss_windows = 0;
   uint64_t delay_spikes = 0;
   uint64_t stragglers = 0;
+  // Byzantine window onsets, by behavior.
+  uint64_t equivocate_windows = 0;
+  uint64_t double_vote_windows = 0;
+  uint64_t withhold_windows = 0;
+  uint64_t censor_windows = 0;
+  uint64_t lazy_windows = 0;
 };
 
 class FaultInjector {
@@ -43,6 +49,12 @@ class FaultInjector {
  private:
   // Node indices a partition event covers (explicit set or whole region).
   std::vector<int> PartitionNodes(const FaultEvent& event) const;
+
+  // Adversaries a Byzantine event arms: the explicit node set, or — for a
+  // fractional scope — max(1, round(fraction * n)) nodes strided evenly
+  // across the deployment, so the choice is deterministic and spreads over
+  // regions the way a real infiltration would.
+  std::vector<int> AdversaryNodes(const FaultEvent& event) const;
 
   FaultSchedule schedule_;
   ChainContext* ctx_;

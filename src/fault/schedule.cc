@@ -22,11 +22,38 @@ bool Overlaps(const FaultEvent& a, const FaultEvent& b) {
 // Whether two events of the same kind act on the same scope, i.e. an
 // overlap between them would be ambiguous (node crashed while crashed,
 // two loss rates on one link).
+// Whether two explicit adversary node sets intersect.
+bool NodesIntersect(const std::vector<int>& a, const std::vector<int>& b) {
+  for (const int node : a) {
+    if (std::find(b.begin(), b.end(), node) != b.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
 bool SameScope(const FaultEvent& a, const FaultEvent& b) {
   switch (a.kind) {
     case FaultKind::kCrash:
     case FaultKind::kStraggler:
       return a.node == b.node;
+    case FaultKind::kEquivocate:
+    case FaultKind::kDoubleVote:
+    case FaultKind::kWithholdVotes:
+    case FaultKind::kLazyProposer:
+      // A fractional window resolves to an injector-chosen node set, so it
+      // can collide with any same-kind window; explicit sets conflict only
+      // when they intersect.
+      if (a.fraction > 0.0 || b.fraction > 0.0) {
+        return true;
+      }
+      return NodesIntersect(a.nodes, b.nodes);
+    case FaultKind::kCensor:
+      // The censored-signer set is a single piece of global state, so any
+      // two censor windows are ambiguous when they overlap.
+      return true;
+    case FaultKind::kCount:
+      return false;
     case FaultKind::kPartition: {
       if (a.by_region || b.by_region) {
         return a.by_region && b.by_region && a.region == b.region;
@@ -78,8 +105,33 @@ const char* FaultKindName(FaultKind kind) {
       return "delay";
     case FaultKind::kStraggler:
       return "straggler";
+    case FaultKind::kEquivocate:
+      return "equivocate";
+    case FaultKind::kDoubleVote:
+      return "double-vote";
+    case FaultKind::kWithholdVotes:
+      return "withhold";
+    case FaultKind::kCensor:
+      return "censor";
+    case FaultKind::kLazyProposer:
+      return "lazy";
+    case FaultKind::kCount:
+      break;
   }
   return "unknown";
+}
+
+bool IsByzantine(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEquivocate:
+    case FaultKind::kDoubleVote:
+    case FaultKind::kWithholdVotes:
+    case FaultKind::kCensor:
+    case FaultKind::kLazyProposer:
+      return true;
+    default:
+      return false;
+  }
 }
 
 bool FaultSchedule::Validate(int node_count, std::string* error) const {
@@ -87,7 +139,10 @@ bool FaultSchedule::Validate(int node_count, std::string* error) const {
     if (event.at < 0) {
       return EventError(event, "negative onset time", error);
     }
-    if (event.until >= 0 && event.until <= event.at) {
+    if (event.until >= 0 && event.until == event.at) {
+      return EventError(event, "zero-duration window", error);
+    }
+    if (event.until >= 0 && event.until < event.at) {
       return EventError(event, "heal time must be after onset", error);
     }
     const auto check_node = [&](int node) {
@@ -139,6 +194,41 @@ bool FaultSchedule::Validate(int node_count, std::string* error) const {
           return EventError(event, "negative extra delay", error);
         }
         break;
+      case FaultKind::kEquivocate:
+      case FaultKind::kDoubleVote:
+      case FaultKind::kWithholdVotes:
+      case FaultKind::kCensor:
+      case FaultKind::kLazyProposer: {
+        const bool has_nodes = !event.nodes.empty();
+        const bool has_fraction = event.fraction != 0.0;
+        if (has_nodes == has_fraction) {
+          return EventError(
+              event, "give exactly one of an explicit node set or a fraction",
+              error);
+        }
+        if (has_fraction &&
+            !(event.fraction > 0.0 && event.fraction < 1.0)) {
+          return EventError(event, "fraction must be in (0, 1)", error);
+        }
+        for (const int node : event.nodes) {
+          if (!check_node(node)) {
+            return false;
+          }
+        }
+        if (event.kind == FaultKind::kCensor) {
+          if (event.censored_signers.empty()) {
+            return EventError(event, "empty censored signer set", error);
+          }
+          for (const int signer : event.censored_signers) {
+            if (signer < 0) {
+              return EventError(event, "negative censored signer id", error);
+            }
+          }
+        }
+        break;
+      }
+      case FaultKind::kCount:
+        return EventError(event, "invalid fault kind", error);
     }
   }
   for (size_t i = 0; i < events.size(); ++i) {
@@ -265,6 +355,101 @@ FaultScheduleBuilder& FaultScheduleBuilder::Straggler(int node, double cpu_facto
   event.at = from;
   event.until = to;
   schedule_.events.push_back(std::move(event));
+  return *this;
+}
+
+namespace {
+
+FaultEvent ByzantineEvent(FaultKind kind, std::vector<int> nodes,
+                          double fraction, SimTime from, SimTime to) {
+  FaultEvent event;
+  event.kind = kind;
+  event.nodes = std::move(nodes);
+  event.fraction = fraction;
+  event.at = from;
+  event.until = to;
+  return event;
+}
+
+}  // namespace
+
+FaultScheduleBuilder& FaultScheduleBuilder::Equivocate(std::vector<int> nodes,
+                                                       SimTime from, SimTime to) {
+  schedule_.events.push_back(
+      ByzantineEvent(FaultKind::kEquivocate, std::move(nodes), 0, from, to));
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::EquivocateFraction(double fraction,
+                                                               SimTime from,
+                                                               SimTime to) {
+  schedule_.events.push_back(
+      ByzantineEvent(FaultKind::kEquivocate, {}, fraction, from, to));
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::DoubleVote(std::vector<int> nodes,
+                                                       SimTime from, SimTime to) {
+  schedule_.events.push_back(
+      ByzantineEvent(FaultKind::kDoubleVote, std::move(nodes), 0, from, to));
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::DoubleVoteFraction(double fraction,
+                                                               SimTime from,
+                                                               SimTime to) {
+  schedule_.events.push_back(
+      ByzantineEvent(FaultKind::kDoubleVote, {}, fraction, from, to));
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::WithholdVotes(std::vector<int> nodes,
+                                                          SimTime from,
+                                                          SimTime to) {
+  schedule_.events.push_back(
+      ByzantineEvent(FaultKind::kWithholdVotes, std::move(nodes), 0, from, to));
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::WithholdVotesFraction(
+    double fraction, SimTime from, SimTime to) {
+  schedule_.events.push_back(
+      ByzantineEvent(FaultKind::kWithholdVotes, {}, fraction, from, to));
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::Censor(std::vector<int> nodes,
+                                                   std::vector<int> signers,
+                                                   SimTime from, SimTime to) {
+  FaultEvent event =
+      ByzantineEvent(FaultKind::kCensor, std::move(nodes), 0, from, to);
+  event.censored_signers = std::move(signers);
+  schedule_.events.push_back(std::move(event));
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::CensorFraction(
+    double fraction, std::vector<int> signers, SimTime from, SimTime to) {
+  FaultEvent event =
+      ByzantineEvent(FaultKind::kCensor, {}, fraction, from, to);
+  event.censored_signers = std::move(signers);
+  schedule_.events.push_back(std::move(event));
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::LazyProposer(std::vector<int> nodes,
+                                                         SimTime from,
+                                                         SimTime to) {
+  schedule_.events.push_back(
+      ByzantineEvent(FaultKind::kLazyProposer, std::move(nodes), 0, from, to));
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::LazyProposerFraction(double fraction,
+                                                                 SimTime from,
+                                                                 SimTime to) {
+  schedule_.events.push_back(
+      ByzantineEvent(FaultKind::kLazyProposer, {}, fraction, from, to));
   return *this;
 }
 

@@ -8,6 +8,14 @@
 // optional restart, network partitions (explicit node sets or whole
 // regions) with heal, message-loss and delay-spike windows on the network,
 // and stragglers (a node whose CPU runs at a fraction of its rated speed).
+//
+// Beyond those honest failures, the schedule also declares *Byzantine*
+// (malicious-validator) windows: equivocating leaders, double-voting, vote
+// withholding, censorship of a signer set, and lazy proposers. A Byzantine
+// event names its adversaries either explicitly (`nodes`) or as a fraction
+// of the deployment (`fraction`), resolved deterministically by the
+// injector; the consensus engines carry the matching detection and defense
+// hooks (see docs/robustness.md).
 #ifndef SRC_FAULT_SCHEDULE_H_
 #define SRC_FAULT_SCHEDULE_H_
 
@@ -25,9 +33,19 @@ enum class FaultKind : uint8_t {
   kLoss,         // messages drop with probability `rate` inside the window
   kDelaySpike,   // extra one-way delay inside the window
   kStraggler,    // a node's CPU runs at cpu_factor of its rated speed
+  // --- Byzantine kinds: the scoped nodes act maliciously in the window ---
+  kEquivocate,     // leaders send conflicting proposals for their round
+  kDoubleVote,     // validators cast two votes per vote stage
+  kWithholdVotes,  // validators never vote
+  kCensor,         // proposers refuse transactions from a signer set
+  kLazyProposer,   // proposers seal empty blocks
+  kCount,          // sentinel — keep last; not a fault kind
 };
 
 const char* FaultKindName(FaultKind kind);
+
+// Whether this kind models malicious (vs merely failing) validators.
+bool IsByzantine(FaultKind kind);
 
 struct FaultEvent {
   FaultKind kind = FaultKind::kCrash;
@@ -43,6 +61,10 @@ struct FaultEvent {
   double loss_rate = 0;        // kLoss: drop probability in [0, 1]
   SimDuration extra_delay = 0; // kDelaySpike
   double cpu_factor = 1;       // kStraggler: fraction of rated speed, (0, 1]
+  // Byzantine kinds scope their adversaries either by explicit `nodes` or
+  // by `fraction` of the deployment in (0, 1); exactly one must be given.
+  double fraction = 0;
+  std::vector<int> censored_signers;  // kCensor: signer ids to refuse
 };
 
 struct FaultSchedule {
@@ -87,6 +109,32 @@ class FaultScheduleBuilder {
                                           SimTime from, SimTime to = -1);
   FaultScheduleBuilder& Straggler(int node, double cpu_factor, SimTime from,
                                   SimTime to = -1);
+
+  // Byzantine windows. The explicit-node forms name the adversaries; the
+  // Fraction forms let the injector pick round(fraction * n) of them
+  // deterministically (max(1, ...), strided across the deployment).
+  FaultScheduleBuilder& Equivocate(std::vector<int> nodes, SimTime from,
+                                   SimTime to = -1);
+  FaultScheduleBuilder& EquivocateFraction(double fraction, SimTime from,
+                                           SimTime to = -1);
+  FaultScheduleBuilder& DoubleVote(std::vector<int> nodes, SimTime from,
+                                   SimTime to = -1);
+  FaultScheduleBuilder& DoubleVoteFraction(double fraction, SimTime from,
+                                           SimTime to = -1);
+  FaultScheduleBuilder& WithholdVotes(std::vector<int> nodes, SimTime from,
+                                      SimTime to = -1);
+  FaultScheduleBuilder& WithholdVotesFraction(double fraction, SimTime from,
+                                              SimTime to = -1);
+  FaultScheduleBuilder& Censor(std::vector<int> nodes,
+                               std::vector<int> signers, SimTime from,
+                               SimTime to = -1);
+  FaultScheduleBuilder& CensorFraction(double fraction,
+                                       std::vector<int> signers, SimTime from,
+                                       SimTime to = -1);
+  FaultScheduleBuilder& LazyProposer(std::vector<int> nodes, SimTime from,
+                                     SimTime to = -1);
+  FaultScheduleBuilder& LazyProposerFraction(double fraction, SimTime from,
+                                             SimTime to = -1);
 
   FaultSchedule Build() { return std::move(schedule_); }
 

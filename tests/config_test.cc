@@ -267,6 +267,83 @@ TEST(SpecFaultsTest, RejectsInvalidSchedulesAtParseTime) {
                    .ok);
 }
 
+TEST(SpecFaultsTest, ParsesByzantineKinds) {
+  const SpecResult result = ParseWorkloadSpec(WithFaults(R"(faults:
+  - equivocate: { nodes: [0], from: 5, to: 15 }
+  - double-vote: { fraction: 0.2, from: 20, to: 30 }
+  - withhold: { nodes: [1, 2], from: 35, to: 45 }
+  - censor: { nodes: [3], signers: [0, 1, 2], from: 50, to: 55 }
+  - lazy: { fraction: 0.1, from: 56, to: 58 }
+)"));
+  ASSERT_TRUE(result.ok) << result.error;
+  const FaultSchedule& faults = result.spec.faults;
+  ASSERT_EQ(faults.events.size(), 5u);
+  EXPECT_EQ(faults.events[0].kind, FaultKind::kEquivocate);
+  EXPECT_EQ(faults.events[0].nodes, (std::vector<int>{0}));
+  EXPECT_EQ(faults.events[1].kind, FaultKind::kDoubleVote);
+  EXPECT_DOUBLE_EQ(faults.events[1].fraction, 0.2);
+  EXPECT_EQ(faults.events[2].kind, FaultKind::kWithholdVotes);
+  EXPECT_EQ(faults.events[3].kind, FaultKind::kCensor);
+  EXPECT_EQ(faults.events[3].censored_signers, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(faults.events[4].kind, FaultKind::kLazyProposer);
+  EXPECT_EQ(faults.events[4].until, Seconds(58));
+}
+
+TEST(SpecFaultsTest, RejectsMalformedByzantineEntries) {
+  // Both nodes and fraction, and neither, are ambiguous scopes.
+  SpecResult result = ParseWorkloadSpec(WithFaults(
+      "faults:\n  - equivocate: { nodes: [0], fraction: 0.2, from: 1, to: 2 }\n"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("exactly one"), std::string::npos) << result.error;
+  EXPECT_FALSE(ParseWorkloadSpec(
+                   WithFaults("faults:\n  - withhold: { from: 1, to: 2 }\n"))
+                   .ok);
+
+  // Censorship without its signer list.
+  result = ParseWorkloadSpec(
+      WithFaults("faults:\n  - censor: { nodes: [0], from: 1, to: 2 }\n"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("signers"), std::string::npos) << result.error;
+
+  // Fraction outside (0, 1).
+  EXPECT_FALSE(ParseWorkloadSpec(WithFaults(
+                   "faults:\n  - lazy: { fraction: 1.5, from: 1, to: 2 }\n"))
+                   .ok);
+}
+
+TEST(SpecFaultsTest, RejectsZeroDurationWindows) {
+  const SpecResult result = ParseWorkloadSpec(WithFaults(
+      "faults:\n  - double-vote: { fraction: 0.2, from: 10, to: 10 }\n"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("zero-duration"), std::string::npos)
+      << result.error;
+}
+
+TEST(SpecFaultsTest, RejectsUnknownKeysWithSourceLine) {
+  // A typo'd key is an error, not silently ignored — and the diagnostic
+  // names the offending line of the workload file.
+  SpecResult result = ParseWorkloadSpec(WithFaults(
+      "faults:\n  - crash: { node: 0, at: 10, restrat: 25 }\n"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unknown key 'restrat'"), std::string::npos)
+      << result.error;
+  EXPECT_NE(result.error.find("(line 9)"), std::string::npos) << result.error;
+
+  result = ParseWorkloadSpec(WithFaults(
+      "faults:\n  - equivocate: { nodes: [0], rate: 0.5, from: 1, to: 2 }\n"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unknown key 'rate'"), std::string::npos)
+      << result.error;
+
+  // Unknown kinds carry the line too.
+  result = ParseWorkloadSpec(
+      WithFaults("faults:\n  - meteor: { node: 0, at: 10 }\n"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unknown fault kind: meteor (line 9)"),
+            std::string::npos)
+      << result.error;
+}
+
 TEST(FunctionRefTest, Parsing) {
   std::string name;
   std::vector<int64_t> args;

@@ -50,7 +50,8 @@ INSTANTIATE_TEST_SUITE_P(AllFiles, ShippedConfigTest,
                                            "workload-contract-10.yaml",
                                            "workload-dota.yaml",
                                            "workload-uber.yaml",
-                                           "workload-faults.yaml"));
+                                           "workload-faults.yaml",
+                                           "workload-byzantine.yaml"));
 
 TEST(ShippedConfigTest, ArtifactExperimentE1RunsAtBothRates) {
   // E1 (§A.4): the 10 TPS and 100 TPS native workloads produce different
@@ -109,6 +110,58 @@ TEST(ShippedConfigTest, FaultWorkloadRunsEndToEnd) {
   EXPECT_GE(result.report.recoveries[0], 0.0);
   EXPECT_GE(result.report.recoveries[1], 0.0);
   EXPECT_GE(result.report.recoveries[2], 0.0);
+}
+
+TEST(ShippedConfigTest, ByzantineWorkloadRunsEndToEnd) {
+  // The shipped Byzantine scenario parses, arms its adversaries, and
+  // reports the malicious-behavior evidence counters — while the chain
+  // keeps committing (the adversaries here are always a minority).
+  const SpecResult spec =
+      ParseWorkloadSpec(ReadFile(ConfigPath("workload-byzantine.yaml")));
+  ASSERT_TRUE(spec.ok) << spec.error;
+  ASSERT_EQ(spec.spec.faults.events.size(), 4u);
+  for (const FaultEvent& event : spec.spec.faults.events) {
+    EXPECT_TRUE(IsByzantine(event.kind)) << FaultKindName(event.kind);
+  }
+  BenchmarkSetup setup;
+  setup.chain = "quorum";
+  setup.deployment = "testnet";
+  setup.retry.max_attempts = 3;
+  setup.retry.timeout = Seconds(1);
+  Primary primary(setup);
+  const RunResult result = primary.RunSpec(spec.spec);
+  ASSERT_TRUE(result.failure_reason.empty()) << result.failure_reason;
+  EXPECT_TRUE(result.report.byzantine);
+  EXPECT_GT(result.report.committed, 0u);
+  // The equivocating leader forced view changes; the double-voting window
+  // left evidence; the censor and lazy windows touched transactions.
+  EXPECT_GT(result.report.equivocations_seen, 0u);
+  EXPECT_GT(result.report.double_votes_seen, 0u);
+  EXPECT_GT(result.report.txs_censored, 0u);
+  EXPECT_GT(result.report.lazy_proposals, 0u);
+}
+
+TEST(ShippedConfigTest, ByzantineGoldenReportIsStable) {
+  // The rendered report of the shipped Byzantine scenario is pinned: the
+  // adversary resolution, every defense path, and the evidence counters
+  // are deterministic, and the checked build's safety invariant must not
+  // perturb any of it (the same constant holds with kCheckedBuild on).
+  const SpecResult spec =
+      ParseWorkloadSpec(ReadFile(ConfigPath("workload-byzantine.yaml")));
+  ASSERT_TRUE(spec.ok) << spec.error;
+  BenchmarkSetup setup;
+  setup.chain = "quorum";
+  setup.deployment = "testnet";
+  setup.retry.max_attempts = 3;
+  setup.retry.timeout = Seconds(1);
+  Primary primary(setup);
+  const RunResult result = primary.RunSpec(spec.spec);
+  ASSERT_TRUE(result.failure_reason.empty()) << result.failure_reason;
+  const std::string digest = DigestHex(Sha256Digest(result.report.ToText()));
+  EXPECT_EQ(digest,
+            "4437e9586a1e3d357b829327b7c70e89e9ceaaa52d4083504786957309a57944")
+      << "Byzantine report text changed; if intentional, update the golden "
+         "hash (kCheckedBuild=" << kCheckedBuild << ")";
 }
 
 TEST(ShippedConfigTest, CheckedBuildDoesNotPerturbResults) {

@@ -150,6 +150,111 @@ TEST(FaultScheduleTest, HealTimesAreSortedHealInstants) {
   EXPECT_EQ(heals[1], Seconds(40));
 }
 
+// --- Byzantine schedule construction and validation ---
+
+TEST(FaultScheduleTest, ByzantineBuilderProducesWellFormedEvents) {
+  const FaultSchedule schedule =
+      FaultScheduleBuilder()
+          .Equivocate({0}, Seconds(5), Seconds(15))
+          .DoubleVoteFraction(0.2, Seconds(20), Seconds(30))
+          .WithholdVotes({1, 2}, Seconds(35), Seconds(45))
+          .Censor({3}, {0, 1, 2}, Seconds(50), Seconds(55))
+          .LazyProposerFraction(0.1, Seconds(56), Seconds(58))
+          .Build();
+  ASSERT_EQ(schedule.events.size(), 5u);
+  EXPECT_EQ(schedule.events[0].kind, FaultKind::kEquivocate);
+  EXPECT_EQ(schedule.events[0].nodes.size(), 1u);
+  EXPECT_DOUBLE_EQ(schedule.events[1].fraction, 0.2);
+  EXPECT_EQ(schedule.events[2].nodes.size(), 2u);
+  EXPECT_EQ(schedule.events[3].censored_signers.size(), 3u);
+  EXPECT_DOUBLE_EQ(schedule.events[4].fraction, 0.1);
+  for (const FaultEvent& event : schedule.events) {
+    EXPECT_TRUE(IsByzantine(event.kind)) << FaultKindName(event.kind);
+  }
+  std::string error;
+  EXPECT_TRUE(schedule.Validate(10, &error)) << error;
+}
+
+TEST(FaultScheduleTest, ByzantineRejectsMalformedScopes) {
+  std::string error;
+  // Fraction out of range.
+  EXPECT_FALSE(FaultScheduleBuilder()
+                   .EquivocateFraction(0.0, Seconds(1), Seconds(2))
+                   .Build()
+                   .Validate(10, &error));
+  EXPECT_FALSE(FaultScheduleBuilder()
+                   .EquivocateFraction(1.0, Seconds(1), Seconds(2))
+                   .Build()
+                   .Validate(10, &error));
+  // Both an explicit node set and a fraction (or neither) is ambiguous.
+  FaultEvent both;
+  both.kind = FaultKind::kDoubleVote;
+  both.nodes = {0};
+  both.fraction = 0.2;
+  both.at = Seconds(1);
+  both.until = Seconds(2);
+  FaultSchedule ambiguous;
+  ambiguous.events.push_back(both);
+  EXPECT_FALSE(ambiguous.Validate(10, &error));
+  EXPECT_NE(error.find("exactly one"), std::string::npos) << error;
+  FaultEvent neither;
+  neither.kind = FaultKind::kWithholdVotes;
+  neither.at = Seconds(1);
+  neither.until = Seconds(2);
+  FaultSchedule empty_scope;
+  empty_scope.events.push_back(neither);
+  EXPECT_FALSE(empty_scope.Validate(10, &error));
+  // Censorship needs a non-empty, non-negative signer set.
+  EXPECT_FALSE(FaultScheduleBuilder()
+                   .Censor({0}, {}, Seconds(1), Seconds(2))
+                   .Build()
+                   .Validate(10, &error));
+  EXPECT_NE(error.find("signer"), std::string::npos) << error;
+  EXPECT_FALSE(FaultScheduleBuilder()
+                   .Censor({0}, {-1}, Seconds(1), Seconds(2))
+                   .Build()
+                   .Validate(10, &error));
+  // Adversary node indices are range-checked like honest-fault ones.
+  EXPECT_FALSE(FaultScheduleBuilder()
+                   .Equivocate({42}, Seconds(1), Seconds(2))
+                   .Build()
+                   .Validate(10, &error));
+}
+
+TEST(FaultScheduleTest, RejectsZeroDurationWindows) {
+  std::string error;
+  FaultSchedule zero =
+      FaultScheduleBuilder().Equivocate({0}, Seconds(5), Seconds(5)).Build();
+  EXPECT_FALSE(zero.Validate(10, &error));
+  EXPECT_NE(error.find("zero-duration"), std::string::npos) << error;
+  FaultSchedule honest_zero =
+      FaultScheduleBuilder().Loss(0.1, Seconds(5), Seconds(5)).Build();
+  EXPECT_FALSE(honest_zero.Validate(10, &error));
+  EXPECT_NE(error.find("zero-duration"), std::string::npos) << error;
+}
+
+TEST(FaultScheduleTest, FaultKindNamesAreExhaustiveAndDistinct) {
+  // Every enumerator up to the kCount sentinel has a real name, and no two
+  // kinds share one — a new kind without a FaultKindName entry fails here.
+  std::vector<std::string> names;
+  for (int kind = 0; kind < static_cast<int>(FaultKind::kCount); ++kind) {
+    const char* name = FaultKindName(static_cast<FaultKind>(kind));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "unknown") << "kind " << kind << " has no name";
+    EXPECT_STRNE(name, "") << "kind " << kind << " has an empty name";
+    for (const std::string& previous : names) {
+      EXPECT_NE(previous, name) << "duplicate fault kind name";
+    }
+    names.push_back(name);
+  }
+  EXPECT_STREQ(FaultKindName(FaultKind::kCount), "unknown");
+  // The Byzantine predicate splits the enum exactly where the enum says.
+  EXPECT_FALSE(IsByzantine(FaultKind::kCrash));
+  EXPECT_FALSE(IsByzantine(FaultKind::kStraggler));
+  EXPECT_TRUE(IsByzantine(FaultKind::kEquivocate));
+  EXPECT_TRUE(IsByzantine(FaultKind::kLazyProposer));
+}
+
 // --- Injector execution ---
 
 TEST(FaultInjectorTest, CrashCausesViewChangesThenRecovery) {
@@ -237,6 +342,142 @@ TEST(FaultInjectorTest, InvalidScheduleFailsToInstall) {
   std::string error;
   EXPECT_FALSE(injector.Install(&error));
   EXPECT_NE(error.find("unknown host"), std::string::npos) << error;
+}
+
+// --- Byzantine behavior through the engines ---
+
+TEST(FaultInjectorTest, EquivocatingLeaderForcesViewChangesButCommits) {
+  MiniRun run("quorum", 3);
+  run.Submit(100, 20);
+  FaultInjector injector(
+      FaultScheduleBuilder().Equivocate({0}, Seconds(2), Seconds(12)).Build(),
+      &run.chain->context());
+  std::string error;
+  ASSERT_TRUE(injector.Install(&error)) << error;
+  run.chain->Start();
+  run.sim.RunUntil(Seconds(60));
+  EXPECT_EQ(injector.stats().equivocate_windows, 1u);
+  const ChainStats& stats = run.chain->context().stats();
+  // Every time node 0 held the leader slot in the window, honest replicas
+  // detected the conflicting proposals and view-changed past it...
+  EXPECT_GT(stats.equivocations_seen, 0u);
+  EXPECT_GT(stats.view_changes, 0u);
+  // ...and the rotation kept the chain live: safety costs rounds, not txs.
+  EXPECT_GE(run.Committed(), 1500u);
+}
+
+TEST(FaultInjectorTest, WithholdingMinorityCommitsButMajorityStalls) {
+  // IBFT quorum on the 10-node testnet is 7: three silent validators leave
+  // 7 voters (commits continue); four leave 6 (no quorum in the window).
+  auto committed_inside_window = [](int withholders) {
+    MiniRun run("quorum", 3);
+    run.Submit(100, 20);
+    std::vector<int> nodes;
+    for (int i = 0; i < withholders; ++i) {
+      nodes.push_back(i);
+    }
+    FaultInjector injector(FaultScheduleBuilder()
+                               .WithholdVotes(nodes, Seconds(5), Seconds(15))
+                               .Build(),
+                           &run.chain->context());
+    std::string error;
+    EXPECT_TRUE(injector.Install(&error)) << error;
+    run.chain->Start();
+    run.sim.RunUntil(Seconds(60));
+    EXPECT_GT(run.chain->context().stats().votes_withheld, 0u);
+    EXPECT_GT(run.Committed(), 0u);  // both recover after the disarm
+    const TxStore& txs = run.chain->context().txs();
+    size_t inside = 0;
+    for (TxId id = 0; id < txs.size(); ++id) {
+      const Transaction& tx = txs.at(id);
+      if (tx.phase == TxPhase::kCommitted && tx.commit_time > Seconds(6) &&
+          tx.commit_time < Seconds(15)) {
+        ++inside;
+      }
+    }
+    return inside;
+  };
+  EXPECT_GT(committed_inside_window(3), 0u);
+  EXPECT_EQ(committed_inside_window(4), 0u);
+}
+
+TEST(FaultInjectorTest, DoubleVotingLeavesEvidenceWithoutChangingCommits) {
+  auto run_with = [](bool double_voting) {
+    MiniRun run("quorum", 3);
+    run.Submit(100, 10);
+    std::unique_ptr<FaultInjector> injector;
+    if (double_voting) {
+      injector = std::make_unique<FaultInjector>(
+          FaultScheduleBuilder()
+              .DoubleVoteFraction(0.2, Seconds(2), Seconds(8))
+              .Build(),
+          &run.chain->context());
+      std::string error;
+      EXPECT_TRUE(injector->Install(&error)) << error;
+    }
+    run.chain->Start();
+    run.sim.RunUntil(Seconds(60));
+    return std::make_pair(run.Committed(),
+                          run.chain->context().stats().double_votes_seen);
+  };
+  const auto [honest_committed, honest_evidence] = run_with(false);
+  const auto [byzantine_committed, byzantine_evidence] = run_with(true);
+  // A second vote from the same validator is deduplicated by the quorum
+  // rule, so the duplicate changes evidence counters and nothing else.
+  EXPECT_EQ(honest_evidence, 0u);
+  EXPECT_GT(byzantine_evidence, 0u);
+  EXPECT_EQ(byzantine_committed, honest_committed);
+}
+
+TEST(FaultInjectorTest, CensorshipDelaysVictimsButHonestProposersRescue) {
+  MiniRun run("quorum", 3);
+  run.Submit(100, 10);  // MiniRun signs with accounts 0..99
+  FaultInjector injector(FaultScheduleBuilder()
+                             .Censor({0, 1, 2}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+                                     Seconds(1), Seconds(9))
+                             .Build(),
+                         &run.chain->context());
+  std::string error;
+  ASSERT_TRUE(injector.Install(&error)) << error;
+  run.chain->Start();
+  run.sim.RunUntil(Seconds(60));
+  EXPECT_EQ(injector.stats().censor_windows, 1u);
+  const ChainStats& stats = run.chain->context().stats();
+  EXPECT_GT(stats.txs_censored, 0u);
+  // Censored transactions are requeued, not dropped: once an honest node
+  // holds the proposer slot (or the window closes), everything commits.
+  EXPECT_EQ(run.Committed(), 1000u);
+}
+
+TEST(FaultInjectorTest, LazyProposersSealEmptyBlocksAndSlowTheChain) {
+  auto latency_with = [](bool lazy) {
+    MiniRun run("quorum", 3);
+    run.Submit(100, 10);
+    std::unique_ptr<FaultInjector> injector;
+    if (lazy) {
+      injector = std::make_unique<FaultInjector>(
+          FaultScheduleBuilder()
+              .LazyProposer({0, 1, 2}, Seconds(1), Seconds(9))
+              .Build(),
+          &run.chain->context());
+      std::string error;
+      EXPECT_TRUE(injector->Install(&error)) << error;
+    }
+    run.chain->Start();
+    run.sim.RunUntil(Seconds(60));
+    EXPECT_EQ(run.Committed(), 1000u);  // liveness: honest slots catch up
+    if (lazy) {
+      EXPECT_GT(run.chain->context().stats().lazy_proposals, 0u);
+    }
+    // Aggregate commit delay: lazy slots defer work to later proposers.
+    const TxStore& txs = run.chain->context().txs();
+    double total = 0;
+    for (TxId id = 0; id < txs.size(); ++id) {
+      total += txs.at(id).LatencySeconds();
+    }
+    return total;
+  };
+  EXPECT_GT(latency_with(true), latency_with(false));
 }
 
 // --- Full-stack fault runs (primary + clients + resilience metrics) ---
@@ -339,6 +580,49 @@ TEST(FaultRunTest, FaultRunsAreDeterministic) {
   EXPECT_EQ(a.report.avg_throughput, b.report.avg_throughput);
   EXPECT_EQ(a.report.avg_latency, b.report.avg_latency);
   EXPECT_EQ(a.report.recoveries, b.report.recoveries);
+}
+
+TEST(FaultRunTest, ByzantineRunsAreDeterministic) {
+  const FaultSchedule faults = FaultScheduleBuilder()
+                                   .EquivocateFraction(0.2, Seconds(5), Seconds(15))
+                                   .WithholdVotesFraction(0.2, Seconds(20),
+                                                          Seconds(25))
+                                   .Build();
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  auto run = [&] {
+    return RunFaultBenchmark("quorum", "testnet", 100, 30, faults, retry,
+                             /*seed=*/7);
+  };
+  const RunResult a = run();
+  const RunResult b = run();
+  EXPECT_TRUE(a.report.byzantine);
+  EXPECT_EQ(a.report.submitted, b.report.submitted);
+  EXPECT_EQ(a.report.committed, b.report.committed);
+  EXPECT_EQ(a.report.view_changes, b.report.view_changes);
+  EXPECT_EQ(a.report.equivocations_seen, b.report.equivocations_seen);
+  EXPECT_EQ(a.report.votes_withheld, b.report.votes_withheld);
+  EXPECT_EQ(a.report.avg_throughput, b.report.avg_throughput);
+  EXPECT_EQ(a.report.avg_latency, b.report.avg_latency);
+}
+
+TEST(FaultRunTest, ByzantineScheduleTurnsOnTheByzantineReport) {
+  // The extra report fields only appear when a schedule carries a
+  // Byzantine kind — honest-fault runs keep the exact legacy shape.
+  const FaultSchedule honest =
+      FaultScheduleBuilder().Crash(0, Seconds(5), Seconds(10)).Build();
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  const RunResult crash_only = RunFaultBenchmark("quorum", "testnet", 50, 15,
+                                                 honest, retry, /*seed=*/1);
+  EXPECT_TRUE(crash_only.report.resilience);
+  EXPECT_FALSE(crash_only.report.byzantine);
+
+  const FaultSchedule byzantine =
+      FaultScheduleBuilder().LazyProposer({0}, Seconds(5), Seconds(10)).Build();
+  const RunResult lazy = RunFaultBenchmark("quorum", "testnet", 50, 15,
+                                           byzantine, retry, /*seed=*/1);
+  EXPECT_TRUE(lazy.report.byzantine);
 }
 
 TEST(FaultRunTest, EmptyScheduleMatchesHealthyRunExactly) {

@@ -10,7 +10,11 @@
 #include "src/chain/mempool.h"
 #include "src/config/spec.h"
 #include "src/config/yaml.h"
+#include "src/core/parallel_runner.h"
+#include "src/core/runner.h"
+#include "src/fault/schedule.h"
 #include "src/support/rng.h"
+#include "src/support/strings.h"
 #include "src/vm/assembler.h"
 #include "src/vm/interpreter.h"
 
@@ -149,6 +153,130 @@ TEST_P(FaultSpecFuzzTest, MutatedFaultSectionsNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultSpecFuzzTest, ::testing::Values(7, 8, 9));
+
+class ByzantineFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ByzantineFuzzTest, MutatedByzantineSectionsNeverCrash) {
+  // Same contract as the honest-fault mutator: truncations and point
+  // mutations of a Byzantine `faults:` section parse or reject with a
+  // diagnostic — never crash, never accept a schedule Validate would not.
+  const std::string base =
+      "workloads:\n  - client:\n      behavior:\n        - interaction: !transfer\n"
+      "          load:\n            0: 10\n            30: 0\n"
+      "faults:\n"
+      "  - equivocate: { nodes: [0], from: 2, to: 8 }\n"
+      "  - double-vote: { fraction: 0.2, from: 10, to: 14 }\n"
+      "  - withhold: { nodes: [1, 2], from: 16, to: 20 }\n"
+      "  - censor: { nodes: [3], signers: [0, 1], from: 22, to: 25 }\n"
+      "  - lazy: { fraction: 0.1, from: 26, to: 28 }\n";
+  ASSERT_TRUE(ParseWorkloadSpec(base).ok) << ParseWorkloadSpec(base).error;
+  Rng rng(GetParam() ^ 0xb12a47);
+  for (size_t cut = 0; cut < base.size(); cut += 3) {
+    const SpecResult result = ParseWorkloadSpec(base.substr(0, cut));
+    if (!result.ok) {
+      EXPECT_FALSE(result.error.empty());
+    }
+  }
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = base;
+    mutated[rng.NextBelow(mutated.size())] =
+        static_cast<char>(32 + rng.NextBelow(95));
+    const SpecResult result = ParseWorkloadSpec(mutated);
+    if (!result.ok) {
+      EXPECT_FALSE(result.error.empty());
+    } else {
+      std::string error;
+      EXPECT_TRUE(result.spec.faults.Validate(-1, &error)) << error;
+    }
+  }
+}
+
+TEST_P(ByzantineFuzzTest, RandomSchedulesParseOrRejectCleanly) {
+  // Assemble random Byzantine entries — kinds, scopes (explicit nodes, a
+  // fraction, both, or neither), window shapes (forward, zero-width,
+  // backwards), censor signer lists present or absent. Whatever comes out,
+  // the parser either accepts a schedule that re-validates or rejects with
+  // a non-empty diagnostic.
+  const char* kinds[] = {"equivocate", "double-vote", "withhold", "censor",
+                         "lazy"};
+  Rng rng(GetParam() ^ 0x5ca1ab1e);
+  for (int round = 0; round < 300; ++round) {
+    std::string text =
+        "workloads:\n  - client:\n      behavior:\n"
+        "        - interaction: !transfer\n          load:\n"
+        "            0: 10\n            30: 0\n"
+        "faults:\n";
+    const size_t entries = 1 + rng.NextBelow(3);
+    for (size_t i = 0; i < entries; ++i) {
+      const char* kind = kinds[rng.NextBelow(std::size(kinds))];
+      std::string body;
+      const uint64_t scope = rng.NextBelow(4);
+      if (scope == 0 || scope == 2) {
+        body += StrFormat("nodes: [%d], ", static_cast<int>(rng.NextBelow(12)));
+      }
+      if (scope == 1 || scope == 2) {
+        body += StrFormat("fraction: %.2f, ",
+                          -0.5 + 0.25 * static_cast<double>(rng.NextBelow(8)));
+      }
+      if (rng.NextBelow(3) != 0) {  // sometimes omit signers even for censor
+        body += StrFormat("signers: [%d], ", static_cast<int>(rng.NextBelow(5)));
+      }
+      const int from = static_cast<int>(rng.NextBelow(30));
+      const int to = from - 2 + static_cast<int>(rng.NextBelow(8));
+      text += StrFormat("  - %s: { %sfrom: %d, to: %d }\n", kind, body.c_str(),
+                        from, to);
+    }
+    const SpecResult result = ParseWorkloadSpec(text);
+    if (!result.ok) {
+      EXPECT_FALSE(result.error.empty()) << text;
+    } else {
+      std::string error;
+      EXPECT_TRUE(result.spec.faults.Validate(-1, &error)) << text << error;
+      EXPECT_EQ(result.spec.faults.events.size(), entries) << text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ByzantineFuzzTest,
+                         ::testing::Values(41, 42, 43));
+
+TEST(ByzantineFuzzTest, InjectorIsDeterministicAcrossRunnerJobs) {
+  // A randomly chosen (but fixed-seed) Byzantine schedule produces
+  // bit-identical reports whether the cells run inline or on four workers:
+  // adversary resolution is a pure function of the schedule and the
+  // deployment, never of thread identity.
+  const FaultSchedule faults =
+      FaultScheduleBuilder()
+          .EquivocateFraction(0.2, Seconds(3), Seconds(9))
+          .WithholdVotes({1, 2, 3}, Seconds(12), Seconds(18))
+          .Censor({0}, {0, 1, 2, 3, 4}, Seconds(20), Seconds(24))
+          .Build();
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  retry.timeout = Seconds(1);
+  auto sweep = [&](int jobs) {
+    ParallelRunner runner(jobs);
+    std::vector<ExperimentCell> cells;
+    for (const char* chain : {"quorum", "diem", "redbelly"}) {
+      const std::string name = chain;
+      cells.push_back({name, [name, &faults, &retry] {
+                         return RunFaultBenchmark(name, "testnet", 50, 30,
+                                                  faults, retry, /*seed=*/3);
+                       }});
+    }
+    return runner.Run(std::move(cells));
+  };
+  const std::vector<RunResult> serial = sweep(1);
+  const std::vector<RunResult> parallel = sweep(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].report.ToText(), parallel[i].report.ToText()) << i;
+    EXPECT_EQ(serial[i].report.equivocations_seen,
+              parallel[i].report.equivocations_seen);
+    EXPECT_EQ(serial[i].report.votes_withheld, parallel[i].report.votes_withheld);
+    EXPECT_EQ(serial[i].report.txs_censored, parallel[i].report.txs_censored);
+  }
+}
 
 TEST(MempoolFuzzTest, RandomChurnPreservesInvariants) {
   Rng rng(77);

@@ -1,11 +1,15 @@
 // detlint CLI: lints C++ sources for determinism hazards (rules D1-D5, see
 // lint.h) and exits nonzero when unsuppressed findings remain.
 //
-// Usage: detlint [--quiet] [--exclude SUBSTR]... PATH...
+// Usage: detlint [--quiet] [--audit] [--exclude SUBSTR]... PATH...
 //   PATH        a file, or a directory scanned recursively for .h/.cc/.cpp
 //   --exclude   skip files whose path contains SUBSTR (repeatable); used to
 //               keep the deliberate-violation test fixtures out of the gate
 //   --quiet     print only the summary line
+//   --audit     suppression audit: list every allow-suppression with its
+//               rule and reason so reviews see what the gate is not checking.
+//               Exits nonzero only for malformed suppressions (an allow()
+//               without a reason), not for ordinary findings.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -27,10 +31,13 @@ int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::vector<std::string> excludes;
   bool quiet = false;
+  bool audit = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--audit") {
+      audit = true;
     } else if (arg == "--exclude" && i + 1 < argc) {
       excludes.push_back(argv[++i]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -41,7 +48,9 @@ int main(int argc, char** argv) {
     }
   }
   if (roots.empty()) {
-    std::fprintf(stderr, "usage: detlint [--quiet] [--exclude SUBSTR]... PATH...\n");
+    std::fprintf(stderr,
+                 "usage: detlint [--quiet] [--audit] [--exclude SUBSTR]... "
+                 "PATH...\n");
     return 2;
   }
 
@@ -67,6 +76,7 @@ int main(int argc, char** argv) {
   size_t scanned = 0;
   size_t suppressed = 0;
   size_t unsuppressed = 0;
+  size_t bad_suppressions = 0;
   for (const std::string& file : files) {
     bool skip = false;
     for (const std::string& substr : excludes) {
@@ -83,13 +93,30 @@ int main(int argc, char** argv) {
     for (const diablo::detlint::Finding& finding : result.findings) {
       if (finding.suppressed) {
         ++suppressed;
+        if (audit && !quiet) {
+          std::printf("%s:%d: [%s] suppressed — %s\n", finding.file.c_str(),
+                      finding.line, finding.rule.c_str(),
+                      finding.suppress_reason.c_str());
+        }
         continue;
       }
       ++unsuppressed;
-      if (!quiet) {
+      if (finding.rule == "SUP") {
+        ++bad_suppressions;
+      }
+      if (!quiet && (!audit || finding.rule == "SUP")) {
         std::printf("%s\n", diablo::detlint::FormatFinding(finding).c_str());
       }
     }
+  }
+  if (audit) {
+    // The audit pass reviews the suppression inventory: every allow() is
+    // listed with its reason, and only reason-less ones fail the gate (the
+    // ordinary findings gate runs as a separate invocation).
+    std::printf("detlint audit: %zu file(s), %zu suppression(s), "
+                "%zu malformed\n",
+                scanned, suppressed, bad_suppressions);
+    return bad_suppressions == 0 ? 0 : 1;
   }
   std::printf("detlint: %zu file(s), %zu finding(s), %zu suppressed\n", scanned,
               unsuppressed, suppressed);
