@@ -141,6 +141,31 @@ class ChainContext {
   ChainStats& stats() { return stats_; }
   const ChainStats& stats() const { return stats_; }
 
+  // --- engine sharding ----------------------------------------------------
+  // Routes the consensus engine's event chain onto one shard of the windowed
+  // parallel scheduler. The engine is the sole window-time owner of this
+  // context's state (rng, mempool, ledger, stats, block-tx pool, message
+  // plane) plus the network's shared stream, so pinning its entire event
+  // chain — round timers, slot ticks, view changes, and the submission
+  // arrivals that feed the mempool — to a single shard executes it in drain
+  // order on one worker, byte-identical to the serial loop. Engines may only
+  // shard when their minimum self-reschedule delay is at least the window
+  // lookahead (checked by the runner), otherwise the chain stays on the
+  // serial loop (the default: engine_shard_ = kSerialShard).
+  void EnableEngineSharding(uint32_t shard) { engine_shard_ = shard; }
+  bool engine_sharded() const { return engine_shard_ != kSerialShard; }
+  uint32_t engine_shard() const { return engine_shard_; }
+
+  // Engine-owned scheduling: targets the engine's shard when sharding is
+  // enabled, the serial loop otherwise. Engines must route every
+  // self-reschedule through these two calls.
+  void ScheduleEngine(SimDuration delay, EventFn fn) {
+    sim_->ScheduleOn(engine_shard_, delay, std::move(fn));
+  }
+  void ScheduleEngineAt(SimTime time, EventFn fn) {
+    sim_->ScheduleAtOn(engine_shard_, time, std::move(fn));
+  }
+
   // Pre-sizes transaction storage, the mempool side tables and the block-tx
   // pool for a run expected to carry `expected_txs` transactions, so the
   // steady-state submission/assembly path never reallocates. The event
@@ -273,6 +298,7 @@ class ChainContext {
   std::function<void(TxId)> on_tx_complete;
 
  private:
+  uint32_t engine_shard_ = kSerialShard;
   Simulation* sim_;
   Network* net_;
   DeploymentConfig deployment_;
@@ -319,6 +345,14 @@ class ConsensusEngine {
 
   // Begins block production; called once after the context is constructed.
   virtual void Start() = 0;
+
+  // Lower bound on the delay between any event of this engine's chain and
+  // the earliest event it schedules, over every code path (success, timeout,
+  // view change, skip). The windowed runner shards the engine only when this
+  // floor is at least the window lookahead — that is the engine-side
+  // conservatism condition: every self-reschedule then lands at or past the
+  // window end. Must be a constant derived from the chain parameters.
+  virtual SimDuration MinRescheduleDelay() const = 0;
 
  protected:
   ChainContext* ctx_;

@@ -15,6 +15,7 @@ class AlgorandEngine : public ConsensusEngine {
   explicit AlgorandEngine(ChainContext* ctx);
 
   void Start() override;
+  SimDuration MinRescheduleDelay() const override;
 
  private:
   void Round();

@@ -17,6 +17,7 @@ class AvalancheEngine : public ConsensusEngine {
   explicit AvalancheEngine(ChainContext* ctx);
 
   void Start() override;
+  SimDuration MinRescheduleDelay() const override;
 
  private:
   void ProduceBlock();

@@ -18,6 +18,7 @@ class HotStuffEngine : public ConsensusEngine {
   explicit HotStuffEngine(ChainContext* ctx) : ConsensusEngine(ctx) {}
 
   void Start() override;
+  SimDuration MinRescheduleDelay() const override;
 
  private:
   struct PendingBlock {

@@ -16,6 +16,7 @@ class RaftEngine : public ConsensusEngine {
   explicit RaftEngine(ChainContext* ctx) : ConsensusEngine(ctx) {}
 
   void Start() override;
+  SimDuration MinRescheduleDelay() const override;
 
  private:
   void Round();

@@ -15,6 +15,7 @@ class SolanaEngine : public ConsensusEngine {
   explicit SolanaEngine(ChainContext* ctx) : ConsensusEngine(ctx) {}
 
   void Start() override;
+  SimDuration MinRescheduleDelay() const override;
 
  private:
   void Slot();

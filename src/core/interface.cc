@@ -79,8 +79,16 @@ class SimClient : public BlockchainClient {
       return;
     }
 
+    // The arrival event mutates engine-owned state (mempool, the context and
+    // network RNG streams) and schedules nothing itself, so it rides the
+    // engine's shard when engine sharding is enabled — that is what moves
+    // the dominant one-event-per-transaction cost off the serial loop. With
+    // engine sharding off this is a plain serial ScheduleAt, as before.
+    // Conservatism of this push: `delay` is a real link sample (at least the
+    // window span by the lookahead bound) or the 500 ms unreachable
+    // fallback, which the runner caps the span at when clients shard.
     const SimTime arrival = submit_time + delay;
-    ctx.sim()->ScheduleAt(arrival, [&ctx, encoded, endpoint, arrival] {
+    ctx.ScheduleEngineAt(arrival, [&ctx, encoded, endpoint, arrival] {
       ctx.SubmitAtEndpoint(encoded, endpoint, arrival);
     });
   }

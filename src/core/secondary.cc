@@ -26,7 +26,10 @@ void Secondary::Start() {
       ++last;
     }
     if (sharded_) {
-      sim_->ScheduleAtOn(static_cast<uint32_t>(index_), second_start,
+      // Shard 0 belongs to the consensus engine; secondaries take 1..C so a
+      // sharded engine and the client drivers spread across workers without
+      // colliding on a shard.
+      sim_->ScheduleAtOn(static_cast<uint32_t>(index_) + 1, second_start,
                          [this, first, last] { SubmitBatch(first, last); });
     } else {
       sim_->ScheduleAt(second_start,

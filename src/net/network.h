@@ -155,6 +155,21 @@ class Network {
   // lookahead bound of the windowed parallel scheduler.
   SimDuration MinLinkDelay() const;
 
+  // Window-aware form: a lower bound on any distinct-pair delay sampled at a
+  // simulation time in [from, to), accounting for registered delay-spike
+  // windows (AddDelaySpikeWindow). Per populated region pair it replays the
+  // spike onset/heal writers in their serial execution order — the value in
+  // force at `from` (a heal landing exactly at `from` already applies: the
+  // heal is a serial event that runs before any window headed there) and the
+  // minimum over writers strictly inside (from, to) — and takes propagation
+  // plus that floor. Never below MinLinkDelay() computed with zero extras,
+  // and never above the true minimum: writers the registry does not know
+  // about (e.g. direct SetExtraDelay calls) are treated as zero, which only
+  // lowers the bound. Pure function of (from, to) and the registrations.
+  SimDuration MinLinkDelayInWindow(SimTime from, SimTime to) const;
+
+  bool HasDelaySpikeWindows() const { return !spike_windows_.empty(); }
+
   // Fills `out` (resized to n*n, row-major: out[from*n+to]) with one delay
   // sample per ordered host pair — exactly the samples DelaySample would
   // return pair by pair in row-major order, jitter draws included. The
@@ -196,6 +211,18 @@ class Network {
   void AddLossWindow(SimTime from, SimTime to, double rate);
   void AddLossWindow(Region a, Region b, SimTime from, SimTime to, double rate);
 
+  // Delay-spike window registration: records that `extra` is written onto
+  // every link (or one region pair, both directions) at time `at` and healed
+  // back to zero at `until` (`until` < 0 leaves the spike active to the end
+  // of the run). Registration is bookkeeping only — the actual SetExtraDelay
+  // mutations stay scheduled as serial events by the fault injector — but it
+  // lets MinLinkDelayInWindow widen the parallel scheduler's lookahead while
+  // a spike is in force. Register in the same order the mutations are
+  // scheduled so same-time onset/heal writers replay in execution order.
+  void AddDelaySpikeWindow(SimTime at, SimTime until, SimDuration extra);
+  void AddDelaySpikeWindow(Region a, Region b, SimTime at, SimTime until,
+                           SimDuration extra);
+
   const NetworkStats& stats() const { return stats_; }
 
   Simulation* sim() { return sim_; }
@@ -209,6 +236,15 @@ class Network {
     SimTime from = 0;
     SimTime to = 0;  // exclusive; open windows store SimTime max
     double rate = 0;
+    bool all_pairs = true;
+    Region a = Region::kOhio;
+    Region b = Region::kOhio;
+  };
+
+  struct SpikeWindow {
+    SimTime at = 0;
+    SimTime until = 0;  // heal instant; open windows store SimTime max
+    SimDuration extra = 0;
     bool all_pairs = true;
     Region a = Region::kOhio;
     Region b = Region::kOhio;
@@ -233,6 +269,7 @@ class Network {
   // scan over the configured faults.
   std::vector<SimDuration> extra_delays_;
   std::vector<LossWindow> loss_windows_;
+  std::vector<SpikeWindow> spike_windows_;
   // Forked lazily (see AddLossWindow); meaningful only when loss windows
   // exist.
   Rng fault_rng_{0};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <future>
+#include <iterator>
 #include <utility>
 
 #include "src/support/check.h"
@@ -36,6 +37,9 @@ Simulation::~Simulation() {
   for (size_t w = 0; w < worker_state_.size(); ++w) {
     profile::AddWorkerEvents(static_cast<int>(w), worker_state_[w]->executed);
   }
+  profile::AddSerialLoopEvents(serial_loop_events_);
+  profile::AddWindowHistogram(window_hist_,
+                              static_cast<int>(std::size(window_hist_)));
 }
 
 void Simulation::Schedule(SimDuration delay, EventFn fn) {
@@ -134,6 +138,7 @@ uint64_t Simulation::RunUntilWindowed(SimTime until) {
       now_ = time;
       fn();
       ++executed;
+      ++serial_loop_events_;
     } else {
       executed += RunWindow(until);
     }
@@ -155,7 +160,18 @@ uint64_t Simulation::RunUntilWindowed(SimTime until) {
 // run. Sequence numbers, and with them every future tie-break, are therefore
 // identical at any worker count.
 uint64_t Simulation::RunWindow(SimTime until) {
-  const SimTime window_end = queue_.PeekTime() + lookahead_;
+  const SimTime head = queue_.PeekTime();
+  SimDuration span = lookahead_;
+  if (lookahead_provider_) {
+    // Window-aware lookahead: the provider may widen this window (never
+    // shrink it) when the instantaneous minimum link delay exceeds the
+    // static floor, e.g. while every link sits inside a delay-spike window.
+    const SimDuration dynamic = lookahead_provider_(head);
+    if (dynamic > span) {
+      span = dynamic;
+    }
+  }
+  const SimTime window_end = head + span;
   batch_.clear();
   while (!queue_.empty() && queue_.PeekShard() != kSerialShard &&
          queue_.PeekTime() < window_end && queue_.PeekTime() <= until) {
@@ -203,6 +219,15 @@ uint64_t Simulation::RunWindow(SimTime until) {
   merge_.clear();
   now_ = batch_.back().time;
   ++window_barriers_;
+  // Histogram bucket = floor(log2(batch size)), folded into the last slot.
+  size_t bucket = 0;
+  for (size_t n = batch_.size(); n > 1; n >>= 1) {
+    ++bucket;
+  }
+  if (bucket >= std::size(window_hist_)) {
+    bucket = std::size(window_hist_) - 1;
+  }
+  ++window_hist_[bucket];
   return batch_.size();
 }
 

@@ -16,6 +16,14 @@
 // sequence numbers — and therefore every tie-break and every downstream draw
 // — come out byte-identical to a serial run at any worker count.
 //
+// The lookahead bound may also be *window-aware*: SetLookaheadProvider()
+// installs a callback queried at each window head that may return a larger
+// bound than the configured floor (e.g. when every link is inside an active
+// delay-spike window, the effective minimum link delay is higher). The
+// provider can only enlarge windows, never shrink them below the configured
+// lookahead, so the conservatism argument is unchanged; regime changes
+// (spike onset/heal) are serial events, so no window ever spans one.
+//
 // Contract for sharded events (asserted under DIABLO_CHECKED):
 //   - they only touch state owned by their shard, plus frozen shared state;
 //   - every draw comes from a stream owned by the shard (detlint rule D6);
@@ -25,6 +33,7 @@
 #define SRC_SIM_SIMULATION_H_
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <vector>
@@ -71,6 +80,17 @@ class Simulation {
 
   int cell_workers() const { return workers_; }
   SimDuration lookahead() const { return lookahead_; }
+
+  // Installs a window-aware lookahead bound, queried once per window with the
+  // window head time. The effective span of a window is
+  // max(lookahead(), provider(head)) — the provider can widen windows when
+  // the instantaneous minimum link delay exceeds the static floor (delay
+  // spikes), but can never shrink them, so a provider that misbehaves costs
+  // correctness nothing. Must be a pure function of its argument and frozen
+  // network state (it runs on the serial loop between windows).
+  void SetLookaheadProvider(std::function<SimDuration(SimTime)> provider) {
+    lookahead_provider_ = std::move(provider);
+  }
 
   // Runs events until the queue drains or simulated time would pass `until`.
   // Returns the number of events executed.
@@ -146,6 +166,12 @@ class Simulation {
   SimDuration lookahead_ = 0;
   uint64_t events_executed_ = 0;
   uint64_t window_barriers_ = 0;
+  // Occupancy accounting for windowed runs, fed to the profile counters at
+  // destruction: events that ran on the serial loop (window breakers) and a
+  // histogram of window batch sizes bucketed by floor(log2(size)).
+  uint64_t serial_loop_events_ = 0;
+  uint64_t window_hist_[16] = {};
+  std::function<SimDuration(SimTime)> lookahead_provider_;
   std::vector<std::unique_ptr<Worker>> worker_state_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<BatchEntry> batch_;    // kept warm across windows

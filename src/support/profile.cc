@@ -22,6 +22,8 @@ std::atomic<int64_t> g_arena_live{0};
 std::atomic<int64_t> g_arena_hwm{0};
 std::atomic<uint64_t> g_window_barriers{0};
 std::atomic<uint64_t> g_worker_events[kMaxProfiledWorkers]{};
+std::atomic<uint64_t> g_serial_loop_events{0};
+std::atomic<uint64_t> g_window_hist[kWindowHistBuckets]{};
 
 // detlint: allow(D2, profiling layer: wall time feeds only the stderr summary, never simulation state)
 const std::chrono::steady_clock::time_point g_start = std::chrono::steady_clock::now();
@@ -51,6 +53,38 @@ void PrintSummary() {
       }
       std::fprintf(stderr, "%s%d:%" PRIu64, sep, w, n);
       sep = ",";
+    }
+    std::fprintf(stderr, "\n");
+    // Window occupancy: how much of the windowed runs' work stayed on the
+    // serial loop (events that break windows) versus inside parallel
+    // windows, plus the events-per-window histogram. Serial residency is the
+    // shard-balance regression signal: it bounds the multicore speedup.
+    const uint64_t serial = g_serial_loop_events.load(std::memory_order_relaxed);
+    uint64_t windowed = 0;
+    for (int w = 0; w < kMaxProfiledWorkers; ++w) {
+      windowed += g_worker_events[w].load(std::memory_order_relaxed);
+    }
+    const uint64_t total = serial + windowed;
+    std::fprintf(stderr,
+                 "[profile] serial_loop_events=%" PRIu64 " windowed_events=%" PRIu64
+                 " serial_residency=%.1f%%\n",
+                 serial, windowed,
+                 total > 0 ? 100.0 * static_cast<double>(serial) /
+                                 static_cast<double>(total)
+                           : 0.0);
+    std::fprintf(stderr, "[profile] events_per_window_hist=");
+    const char* hsep = "";
+    for (int b = 0; b < kWindowHistBuckets; ++b) {
+      const uint64_t n = g_window_hist[b].load(std::memory_order_relaxed);
+      if (n == 0) {
+        continue;
+      }
+      // Bucket b covers window sizes in [2^b, 2^(b+1)); the last bucket is
+      // open-ended.
+      std::fprintf(stderr, "%s[%llu%s:%" PRIu64 "]", hsep,
+                   static_cast<unsigned long long>(1ULL << b),
+                   b + 1 < kWindowHistBuckets ? "" : "+", n);
+      hsep = " ";
     }
     std::fprintf(stderr, "\n");
   }
@@ -88,6 +122,33 @@ void AddWorkerEvents(int worker, uint64_t n) {
     worker = kMaxProfiledWorkers - 1;
   }
   g_worker_events[worker].fetch_add(n, std::memory_order_relaxed);
+}
+
+void AddSerialLoopEvents(uint64_t n) {
+  g_serial_loop_events.fetch_add(n, std::memory_order_relaxed);
+}
+
+void AddWindowHistogram(const uint64_t* buckets, int count) {
+  if (count > kWindowHistBuckets) {
+    count = kWindowHistBuckets;
+  }
+  for (int b = 0; b < count; ++b) {
+    if (buckets[b] != 0) {
+      g_window_hist[b].fetch_add(buckets[b], std::memory_order_relaxed);
+    }
+  }
+}
+
+uint64_t SerialLoopEvents() {
+  return g_serial_loop_events.load(std::memory_order_relaxed);
+}
+
+uint64_t WindowedWorkerEvents() {
+  uint64_t total = 0;
+  for (int w = 0; w < kMaxProfiledWorkers; ++w) {
+    total += g_worker_events[w].load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 void AddArenaBytes(int64_t delta) {

@@ -1,0 +1,30 @@
+// detlint fixture: rule D6 — writes to g_* globals inside parallel-phase regions.
+
+unsigned long g_counter = 0;
+double g_total = 0;
+bool g_flag = false;
+
+void WriteOutsidePhase() { g_counter = 1; }  // outside any region: quiet
+
+// detlint: parallel-phase(begin)
+void Writes(unsigned long v) {
+  g_counter = v;
+  g_counter += v;
+  g_total *= 2.0;
+  ++g_counter;
+  g_counter++;
+  g_flag.store(true);
+}
+
+unsigned long Reads(unsigned long v) {
+  if (g_counter == v) {
+    return v + g_counter;
+  }
+  return g_total <= 1.0 ? v : g_counter;
+}
+
+void Suppressed(unsigned long v) {
+  // detlint: allow(D6, fixture: the runner merges this counter at the barrier)
+  g_counter = v;
+}
+// detlint: parallel-phase(end)

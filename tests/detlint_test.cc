@@ -79,6 +79,35 @@ TEST(Detlint, D6FiresOnAccessorDrawsInsideParallelPhaseRegions) {
   EXPECT_EQ(got, want);
 }
 
+TEST(Detlint, D6FiresOnGlobalWritesInsideParallelPhaseRegions) {
+  const auto got = Lint("d6_global_write.cc");
+  const std::vector<Triple> want = {
+      {"D6", 11, false},  // g_counter = v
+      {"D6", 12, false},  // g_counter += v
+      {"D6", 13, false},  // g_total *= 2.0 (split compound op)
+      {"D6", 14, false},  // ++g_counter (prefix, split tokens)
+      {"D6", 15, false},  // g_counter++ (postfix, split tokens)
+      {"D6", 16, false},  // g_flag.store(true)
+      {"D6", 28, true},   // suppressed assignment
+      // quiet by design: the write at line 7 (outside the region), the
+      // comparisons at lines 20 and 23 (`==` and `<=` lex as split `=`
+      // tokens the assignment pattern rejects), and the read at line 21
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(Detlint, D6GlobalWriteIgnoresUnaryPlusOperands) {
+  const LintResult result = LintSource("unary.cc", R"cc(
+    unsigned long g_counter = 0;
+    // detlint: parallel-phase(begin)
+    unsigned long Read(unsigned long a) {
+      return a + +g_counter;  // unary plus on a read, not a prefix increment
+    }
+    // detlint: parallel-phase(end)
+  )cc");
+  EXPECT_TRUE(result.findings.empty());
+}
+
 TEST(Detlint, D6RegionLeftOpenExtendsToEndOfFile) {
   const LintResult result = LintSource("open_region.cc", R"cc(
     // detlint: parallel-phase(begin)

@@ -281,6 +281,78 @@ TEST(DeterminismTest, FaultCellsInvariantToJobCount) {
   }
 }
 
+TEST(DeterminismTest, FaultedCellsInvariantToCellWorkersTimesJobsMatrix) {
+  // Faulted runs are shard-eligible: crash / partition / delay-spike
+  // mutations publish as serial events at window barriers, so a schedule of
+  // all three (previously forced onto the serial loop wholesale) must stay
+  // byte-identical across the full workers x jobs matrix. The spike window
+  // also exercises the window-aware lookahead provider.
+  ASSERT_EQ(unsetenv("DIABLO_CELL_WORKERS"), 0);
+  const FaultSchedule faults = FaultScheduleBuilder()
+                                   .Crash(0, Seconds(2), Seconds(5))
+                                   .Partition({1}, Seconds(3), Seconds(6))
+                                   .DelaySpike(Milliseconds(80), Seconds(6), Seconds(8))
+                                   .Build();
+  const RetryPolicy no_retry;
+  const std::vector<std::string> chains = {"quorum", "solana"};
+  auto build_cells = [&] {
+    std::vector<ExperimentCell> cells;
+    for (size_t c = 0; c < chains.size(); ++c) {
+      const std::string chain = chains[c];
+      const uint64_t seed = CellSeed(/*base_seed=*/9, c);
+      cells.push_back({chain + "+faults", [chain, seed, faults, no_retry] {
+                         return RunFaultBenchmark(chain, "testnet", 30, 10,
+                                                  faults, no_retry, seed);
+                       }});
+    }
+    return cells;
+  };
+
+  std::vector<std::string> baseline;
+  for (ExperimentCell& cell : build_cells()) {
+    baseline.push_back(Fingerprint(cell.run()));
+  }
+
+  for (const char* workers : {"1", "2", "4"}) {
+    ASSERT_EQ(setenv("DIABLO_CELL_WORKERS", workers, 1), 0);
+    for (const int jobs : {1, 4}) {
+      ParallelRunner runner(jobs);
+      const std::vector<RunResult> got = runner.Run(build_cells());
+      ASSERT_EQ(got.size(), baseline.size());
+      for (size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_EQ(Fingerprint(got[i]), baseline[i])
+            << "workers=" << workers << " jobs=" << jobs << " cell " << i;
+      }
+    }
+  }
+  ASSERT_EQ(unsetenv("DIABLO_CELL_WORKERS"), 0);
+}
+
+TEST(DeterminismTest, LossAndRetryCellsShardEngineOnlyAndStayIdentical) {
+  // Loss windows and retry policies keep the *clients* on the serial loop
+  // (their submissions feed shared loss draws and retry stats), but the
+  // consensus engine still shards. The output must not notice.
+  ASSERT_EQ(unsetenv("DIABLO_CELL_WORKERS"), 0);
+  const FaultSchedule faults = FaultScheduleBuilder()
+                                   .Crash(0, Seconds(2), Seconds(5))
+                                   .Loss(0.1, Seconds(6), Seconds(8))
+                                   .Build();
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.timeout = Seconds(1);
+  auto run_cell = [&] {
+    return RunFaultBenchmark("quorum", "testnet", 30, 10, faults, retry,
+                             CellSeed(/*base_seed=*/13, 0));
+  };
+
+  const std::string baseline = Fingerprint(run_cell());
+  for (const char* workers : {"2", "4"}) {
+    ASSERT_EQ(setenv("DIABLO_CELL_WORKERS", workers, 1), 0);
+    EXPECT_EQ(Fingerprint(run_cell()), baseline) << "workers=" << workers;
+  }
+  ASSERT_EQ(unsetenv("DIABLO_CELL_WORKERS"), 0);
+}
+
 TEST(RunnerStatsTest, JsonRoundTripKeepsOtherBinaries) {
   const std::string path = ::testing::TempDir() + "/BENCH_runner_test.json";
   RunnerStats first;

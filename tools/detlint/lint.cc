@@ -414,6 +414,7 @@ class Linter {
       ScanD3Cast(i);
       ScanD4(i);
       ScanD6(i);
+      ScanD6GlobalWrite(i);
     }
   }
 
@@ -590,6 +591,80 @@ class Linter {
              "construction and draw from the member, or pass the owned Rng* "
              "explicitly (e.g. Network::DelaySampleFrom)");
     }
+  }
+
+  void ScanD6GlobalWrite(size_t i) {
+    // Writes to namespace-scope mutables inside a parallel-phase region: a
+    // shard may mutate only state it owns, and by this codebase's naming
+    // convention namespace-scope mutables are spelled `g_...`. Token-level
+    // heuristic over that prefix — reads stay quiet, and the lexer splits
+    // `==` into two `=` tokens, so comparisons don't match the assignment
+    // pattern. Blind spots (by design, like every rule here): globals not
+    // named `g_*`, writes through references/pointers taken earlier.
+    const std::string& text = tokens_[i].text;
+    if (text.size() <= 2 || text.compare(0, 2, "g_") != 0 ||
+        !IsIdentStart(text[0]) || !InParallelPhase(tokens_[i].line)) {
+      return;
+    }
+    const std::string& next = Tok(i + 1).text;
+    bool write = false;
+    std::string op;
+    if (next == "=" && Tok(i + 2).text != "=") {
+      // Plain assignment; `g_x == y` lexes as `=` `=` and is skipped.
+      write = true;
+      op = "=";
+    } else if (next == "+=" || next == "-=") {
+      write = true;
+      op = next;
+    } else if ((next == "*" || next == "/" || next == "%" || next == "&" ||
+                next == "|" || next == "^") &&
+               Tok(i + 2).text == "=" && Tok(i + 3).text != "=") {
+      // Compound ops the lexer splits (`*=` → `*` `=`). `<`/`>` are excluded:
+      // `g_x <= y` would lex identically to a split `<=`.
+      write = true;
+      op = next + "=";
+    } else if (next == "+" && Tok(i + 2).text == "+" &&
+               !Tok(i + 3).text.empty() && !IsIdentStart(Tok(i + 3).text[0])) {
+      // Postfix ++ (the lexer splits it); the trailing guard keeps
+      // `g_x + +y` quiet.
+      write = true;
+      op = "++";
+    } else if (next == "-" && Tok(i + 2).text == "-" &&
+               !Tok(i + 3).text.empty() && !IsIdentStart(Tok(i + 3).text[0])) {
+      write = true;
+      op = "--";
+    } else if (i >= 2 &&
+               ((Tok(i - 2).text == "+" && Tok(i - 1).text == "+") ||
+                (Tok(i - 2).text == "-" && Tok(i - 1).text == "-"))) {
+      // Prefix ++/--; the leading guard keeps `a + +g_x` (unary plus on an
+      // operand after a binary +) quiet: before a genuine prefix increment
+      // the previous token cannot end an expression.
+      const std::string& before = i >= 3 ? Tok(i - 3).text : std::string();
+      const bool ends_expression =
+          !before.empty() && (IsIdentStart(before[0]) || before == ")" ||
+                              before == "]" || (before[0] >= '0' && before[0] <= '9'));
+      if (!ends_expression) {
+        write = true;
+        op = Tok(i - 1).text == "+" ? "++" : "--";
+      }
+    } else if ((next == "." || next == "->") &&
+               (Tok(i + 2).text == "store" || Tok(i + 2).text == "exchange" ||
+                Tok(i + 2).text == "fetch_add" || Tok(i + 2).text == "fetch_sub") &&
+               Tok(i + 3).text == "(") {
+      // Atomic mutation is still a cross-shard effect ordered by the memory
+      // model, not the window barrier.
+      write = true;
+      op = Tok(i + 2).text + "()";
+    }
+    if (!write) {
+      return;
+    }
+    Report(tokens_[i].line, "D6",
+           "write to non-shard-owned global '" + text + "' (" + op +
+               ") inside a parallel-phase region",
+           "a parallel phase may mutate only shard-owned state; buffer the "
+           "effect through the barrier push lists or accumulate per-worker "
+           "and merge at the barrier");
   }
 
   void Report(int line, const char* rule, std::string message, std::string hint) {

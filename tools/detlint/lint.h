@@ -33,14 +33,23 @@
 //   D5  floating-point accumulation (+=/-= on a float/double) inside a
 //       range-for over an unordered container: FP addition is not
 //       associative, so an unspecified reduction order changes the sum.
-//   D6  RNG draws through an accessor (x->rng().NextFoo(...)) inside a
-//       parallel-phase region — code bracketed by the standalone markers
-//       `// detlint: parallel-phase(begin)` and `// detlint:
-//       parallel-phase(end)`, which mark functions the windowed scheduler
-//       may run on a worker thread. Stricter than D4: even the accessors D4
-//       allowlists are shared across shards, so a parallel phase must draw
-//       only from streams it owns (forked members, or an owned Rng* passed
-//       explicitly). An unmatched begin extends to the end of the file.
+//   D6  parallel-phase hazards — inside a region bracketed by the
+//       standalone markers `// detlint: parallel-phase(begin)` and
+//       `// detlint: parallel-phase(end)`, which mark functions the
+//       windowed scheduler may run on a worker thread (an unmatched begin
+//       extends to the end of the file):
+//       (a) RNG draws through an accessor (x->rng().NextFoo(...)).
+//           Stricter than D4: even the accessors D4 allowlists are shared
+//           across shards, so a parallel phase must draw only from streams
+//           it owns (forked members, or an owned Rng* passed explicitly).
+//       (b) writes to namespace-scope mutables, matched by this codebase's
+//           `g_` naming convention: assignment (plain and compound,
+//           including the forms the lexer splits, `*=` et al.), `++`/`--`,
+//           and atomic mutators (.store/.exchange/.fetch_add/.fetch_sub).
+//           A shard may mutate only state it owns; global effects belong in
+//           the barrier push lists or per-worker accumulators merged at the
+//           barrier. Reads, and `<<=`/`>>=`/`<=`-adjacent forms the lexer
+//           cannot distinguish from comparisons, are out of scope.
 //
 // Suppression: `// detlint: allow(D2, <reason>)` on the finding's line, or
 // standalone on the line above (it then applies to the next code line).
