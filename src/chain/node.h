@@ -23,6 +23,7 @@
 #include "src/net/network.h"
 #include "src/sim/simulation.h"
 #include "src/support/arena.h"
+#include "src/support/shard_guard.h"
 
 namespace diablo {
 
@@ -131,14 +132,29 @@ class ChainContext {
   // Shared per-engine message-plane scratch: stage vectors, order-statistic
   // buffers and broadcast working memory, warm after the first round so
   // steady-state vote rounds allocate nothing.
-  MessagePlaneScratch* plane() { return &plane_; }
-  Rng& rng() { return rng_; }
+  MessagePlaneScratch* plane() {
+    guard_.AssertAccess();
+    return &plane_;
+  }
+  Rng& rng() {
+    guard_.AssertAccess();
+    return rng_;
+  }
   CostOracle& oracle() { return oracle_; }
 
   TxStore& txs() { return txs_; }
-  Mempool& mempool() { return mempool_; }
-  Ledger& ledger() { return ledger_; }
-  ChainStats& stats() { return stats_; }
+  Mempool& mempool() {
+    guard_.AssertAccess();
+    return mempool_;
+  }
+  Ledger& ledger() {
+    guard_.AssertAccess();
+    return ledger_;
+  }
+  ChainStats& stats() {
+    guard_.AssertAccess();
+    return stats_;
+  }
   const ChainStats& stats() const { return stats_; }
 
   // --- engine sharding ----------------------------------------------------
@@ -155,6 +171,20 @@ class ChainContext {
   void EnableEngineSharding(uint32_t shard) { engine_shard_ = shard; }
   bool engine_sharded() const { return engine_shard_ != kSerialShard; }
   uint32_t engine_shard() const { return engine_shard_; }
+
+  // Checked build: tags this context's mutable state — rng, mempool, ledger,
+  // stats, message plane — plus the network's shared stream and counters
+  // with their window-time owner. `shard` is the engine's shard when the
+  // engine is sharded, kSerialShard when only the clients shard (the engine
+  // state is then serial-only and any windowed access to it is a bug).
+  // The runner calls this exactly when windowed workers are configured; an
+  // unbound guard (serial runs, legacy loop) allows everything.
+  void BindShardOwners(uint32_t shard) {
+    guard_.Bind(shard, "ChainContext");
+    mempool_.shard_owner().Bind(shard, "Mempool");
+    ledger_.shard_owner().Bind(shard, "Ledger");
+    net_->shard_owner().Bind(shard, "Network shared stream");
+  }
 
   // Engine-owned scheduling: targets the engine's shard when sharding is
   // enabled, the serial loop otherwise. Engines must route every
@@ -223,7 +253,10 @@ class ChainContext {
   }
 
   // Detection bookkeeping: one conflicting-proposal pair witnessed.
-  void RecordEquivocation() { ++stats_.equivocations_seen; }
+  void RecordEquivocation() {
+    guard_.AssertAccess();
+    ++stats_.equivocations_seen;
+  }
 
   // Applies the armed vote-stage adversaries to one round's arrival-delay
   // vector (indexed by node): withholding validators become kUnreachable
@@ -299,6 +332,8 @@ class ChainContext {
 
  private:
   uint32_t engine_shard_ = kSerialShard;
+  // Window-time owner of this context's mutable state (see BindShardOwners).
+  shard_guard::ShardOwner guard_;
   Simulation* sim_;
   Network* net_;
   DeploymentConfig deployment_;

@@ -196,6 +196,15 @@ WindowedScan ScanArrivalsWindowed(const PairwiseDelays& delays,
 std::atomic<uint64_t> g_select_tick{0};
 constexpr uint64_t kSelectCheckCadence = 257;
 
+// Single funnel for the cadence tick so the one deliberate global write
+// carries the one suppression (the windowed quorum kernels are
+// parallel-phase-reachable, and detlint D7 rightly flags the write).
+bool SelectCheckDue() {
+  // detlint: allow(D7, checked-build-only sampling tick: relaxed atomic that only decides when the read-only cross-check runs and never feeds back into results)
+  return g_select_tick.fetch_add(1, std::memory_order_relaxed) % kSelectCheckCadence ==
+         0;
+}
+
 void CheckQuorumSelection(const PairwiseDelays& delays,
                           const std::vector<SimDuration>& send_times, size_t receiver,
                           double hop_scale, size_t k, SimDuration got) {
@@ -285,7 +294,7 @@ SimDuration QuorumArrivalInto(const PairwiseDelays& delays,
       WindowSelect(scratch->buf.data(), cnt, quorum - 1, scratch->win.data(),
                    scratch->quorum_hint[hint_slot]);
 #if defined(DIABLO_CHECKED)
-  if (g_select_tick.fetch_add(1, std::memory_order_relaxed) % kSelectCheckCadence == 0) {
+  if (SelectCheckDue()) {
     CheckQuorumSelection(delays, send_times, receiver, hop_scale, quorum - 1, selected);
   }
 #endif
@@ -372,8 +381,7 @@ void QuorumArrivalAllInto(const PairwiseDelays& delays,
     if (out[receiver] == kUnreachable) {
       continue;
     }
-    if (g_select_tick.fetch_add(1, std::memory_order_relaxed) % kSelectCheckCadence !=
-        0) {
+    if (!SelectCheckDue()) {
       continue;
     }
     CheckQuorumSelection(delays, send_times, receiver, hop_scale, k, out[receiver]);
@@ -415,7 +423,7 @@ SimDuration MedianDelayInto(const std::vector<SimDuration>& delays,
   const SimDuration median =
       WindowSelect(buf, cnt, cnt / 2, scratch->win.data(), scratch->median_hint);
 #if defined(DIABLO_CHECKED)
-  if (g_select_tick.fetch_add(1, std::memory_order_relaxed) % kSelectCheckCadence == 0) {
+  if (SelectCheckDue()) {
     std::vector<SimDuration> ref;
     ref.reserve(delays.size());
     for (const SimDuration d : delays) {
@@ -478,9 +486,7 @@ SimDuration QuorumArrivalInto(const VoteDelays& delays,
       QuorumArrivalLargeN(delays.streamed(), send_times.data(), send_times.size(),
                           receiver, quorum, hop_scale, &scratch->buf);
 #if defined(DIABLO_CHECKED)
-  if (quorum > 0 &&
-      g_select_tick.fetch_add(1, std::memory_order_relaxed) % kSelectCheckCadence ==
-          0) {
+  if (quorum > 0 && SelectCheckDue()) {
     CheckStreamedQuorum(delays.streamed(), send_times, receiver, quorum, hop_scale,
                         got);
   }
@@ -513,8 +519,7 @@ void QuorumArrivalAllInto(const VoteDelays& delays,
     if ((*result)[receiver] == kUnreachable) {
       continue;
     }
-    if (g_select_tick.fetch_add(1, std::memory_order_relaxed) % kSelectCheckCadence !=
-        0) {
+    if (!SelectCheckDue()) {
       continue;
     }
     CheckStreamedQuorum(delays.streamed(), send_times, receiver, quorum, hop_scale,
@@ -561,9 +566,7 @@ void QuorumArrivalCommitteeInto(const VoteDelays& delays,
                                        sender_times.data(), senders.size(), r,
                                        quorum, hop_scale, &scratch->buf);
 #if defined(DIABLO_CHECKED)
-    if ((*result)[r] != kUnreachable &&
-        g_select_tick.fetch_add(1, std::memory_order_relaxed) % kSelectCheckCadence ==
-            0) {
+    if ((*result)[r] != kUnreachable && SelectCheckDue()) {
       std::vector<SimDuration> full(n, kUnreachable);
       for (size_t j = 0; j < senders.size(); ++j) {
         full[senders[j]] = sender_times[j];

@@ -24,7 +24,7 @@ SimDuration AvalancheEngine::MinRescheduleDelay() const {
 // message plane, the context and network RNG streams), and every reschedule
 // below goes through ScheduleEngine/ScheduleEngineAt with a delay at or
 // above MinRescheduleDelay().
-// detlint: parallel-phase(begin)
+// detlint: parallel-phase(begin, avalanche-engine)
 SimDuration AvalancheEngine::DecisionTime(int node, bool conflicted) {
   const ChainParams& params = ctx_->params();
   const int n = ctx_->node_count();

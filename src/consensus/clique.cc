@@ -20,7 +20,7 @@ SimDuration CliqueEngine::MinRescheduleDelay() const {
 // message plane, the context and network RNG streams), and every reschedule
 // below goes through ScheduleEngine/ScheduleEngineAt with a delay at or
 // above MinRescheduleDelay().
-// detlint: parallel-phase(begin)
+// detlint: parallel-phase(begin, clique-engine)
 void CliqueEngine::ProduceBlock() {
   const SimTime t0 = ctx_->sim()->Now();
   const int n = ctx_->node_count();

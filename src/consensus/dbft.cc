@@ -23,7 +23,7 @@ SimDuration DbftEngine::MinRescheduleDelay() const {
 // message plane, the context and network RNG streams), and every reschedule
 // below goes through ScheduleEngine/ScheduleEngineAt with a delay at or
 // above MinRescheduleDelay().
-// detlint: parallel-phase(begin)
+// detlint: parallel-phase(begin, dbft-engine)
 void DbftEngine::Round() {
   const SimTime t0 = ctx_->sim()->Now();
   const ChainParams& params = ctx_->params();

@@ -22,7 +22,7 @@ SimDuration IbftEngine::MinRescheduleDelay() const {
 // message plane, the context and network RNG streams), and every reschedule
 // below goes through ScheduleEngine/ScheduleEngineAt with a delay at or
 // above MinRescheduleDelay().
-// detlint: parallel-phase(begin)
+// detlint: parallel-phase(begin, ibft-engine)
 void IbftEngine::Round() {
   const SimTime t0 = ctx_->sim()->Now();
   const ChainParams& params = ctx_->params();

@@ -27,7 +27,7 @@ class SimClient : public BlockchainClient {
         stats_(stats),
         rng_(rng) {}
 
-  // detlint: parallel-phase(begin)
+  // detlint: parallel-phase(begin, client-trigger)
   void Trigger(TxId encoded, SimTime submit_time) override {
     ChainContext& ctx = chain_->context();
     Transaction& tx = ctx.txs().at(encoded);
@@ -115,6 +115,7 @@ class SimClient : public BlockchainClient {
       return;
     }
     const SimTime arrival = now + delay;
+    // detlint: allow(D8, retry clients run with client sharding disabled — RetryPolicy forces engine-only sharding, so this path executes on the serial shard by construction)
     ctx.sim()->ScheduleAt(arrival, [this, encoded, endpoint, attempt, arrival] {
       ChainContext& c = chain_->context();
       if (c.SubmitAtEndpoint(encoded, endpoint, arrival, /*drop_on_reject=*/false)) {
@@ -142,6 +143,7 @@ class SimClient : public BlockchainClient {
       return;
     }
     const SimTime next = known_at + policy_->BackoffAfter(attempt);
+    // detlint: allow(D8, retry clients run with client sharding disabled — RetryPolicy forces engine-only sharding, so this path executes on the serial shard by construction)
     ctx.sim()->ScheduleAt(next, [this, encoded, attempt, next] {
       Attempt(encoded, attempt + 1, next);
     });

@@ -305,6 +305,11 @@ RunResult Primary::RunStreams(std::vector<WorkStream> streams,
       if (engine_shardable) {
         chain->EnableEngineSharding(0);
       }
+      // Checked build: tag the engine-owned mutable state with its
+      // window-time owner — shard 0 when the engine shards, serial-only when
+      // just the clients do — so any cross-shard access aborts instead of
+      // silently racing.
+      chain->context().BindShardOwners(engine_shardable ? 0u : kSerialShard);
       if (clients_shardable) {
         for (const auto& secondary : secondaries) {
           secondary->EnableSharding();

@@ -42,7 +42,7 @@ void Secondary::Start() {
 // Runs on a worker thread when sharding is enabled: touches only this
 // secondary's state, its client, and the per-transaction slots the schedule
 // assigned to it. Now() reads the event's own timestamp in either mode.
-// detlint: parallel-phase(begin)
+// detlint: parallel-phase(begin, client-submit)
 void Secondary::SubmitBatch(size_t first, size_t last) {
   const SimTime now = sim_->Now();
   for (size_t i = first; i < last; ++i) {

@@ -26,6 +26,9 @@ HostId Network::AddHost(Region region) {
 }
 
 SimDuration Network::DelaySample(HostId from, HostId to, int64_t bytes) {
+  // Draws from the network's shared jitter stream; sharded callers that are
+  // not the owning shard must use DelaySampleFrom with a stream they own.
+  guard_.AssertAccess();
   return DelaySampleFrom(&rng_, from, to, bytes);
 }
 
@@ -155,6 +158,7 @@ SimDuration Network::MinLinkDelayInWindow(SimTime from, SimTime to) const {
 void Network::FillPairwiseDelays(const std::vector<HostId>& hosts,
                                  int64_t message_bytes,
                                  std::vector<SimDuration>* out) {
+  guard_.AssertAccess();
   const size_t n = hosts.size();
   if (PairwiseDelayCountOverflows(n)) {
     // n² wrapped size_t: assigning the wrapped count would silently build a
@@ -215,6 +219,7 @@ void Network::FillPairwiseDelays(const std::vector<HostId>& hosts,
 }
 
 void Network::Send(HostId from, HostId to, int64_t bytes, EventFn fn) {
+  guard_.AssertAccess();
   ++stats_.sends;
   const SimDuration delay = DelaySample(from, to, bytes);
   if (delay == kUnreachable) {
@@ -238,6 +243,7 @@ std::vector<SimDuration> Network::BroadcastDelays(HostId origin,
 void Network::BroadcastDelaysInto(HostId origin, const std::vector<HostId>& recipients,
                                   int64_t bytes, int fanout, BroadcastScratch* scratch,
                                   std::vector<SimDuration>* out) {
+  guard_.AssertAccess();
   std::vector<SimDuration>& result = *out;
   result.assign(recipients.size(), kUnreachable);
   if (fanout < 1) {
@@ -485,6 +491,10 @@ SimDuration QuorumArrivalLargeN(const StreamedDelays& delays, const uint32_t* se
 }
 
 bool Network::LossDrop(Region a, Region b) {
+  // Shared fault stream and loss counter; loss schedules force clients off
+  // the sharded path (primary.cc), so only the owner or serial code lands
+  // here.
+  guard_.AssertAccess();
   const SimTime now = sim_->Now();
   for (const LossWindow& window : loss_windows_) {
     if (now < window.from || now >= window.to) {

@@ -17,6 +17,7 @@
 #include "src/net/topology.h"
 #include "src/sim/simulation.h"
 #include "src/support/rng.h"
+#include "src/support/shard_guard.h"
 
 namespace diablo {
 
@@ -225,6 +226,14 @@ class Network {
 
   const NetworkStats& stats() const { return stats_; }
 
+  // Checked build: window-time owner of the shared jitter stream, the fault
+  // stream and the message counters. Send, DelaySample, BroadcastDelaysInto,
+  // FillPairwiseDelays and LossDrop assert the caller runs on the owning
+  // shard (or serial); DelaySampleFrom stays unguarded on its caller-owned
+  // draw path because that is exactly the form sharded clients may use.
+  // Bound by ChainContext::BindShardOwners.
+  shard_guard::ShardOwner& shard_owner() { return guard_; }
+
   Simulation* sim() { return sim_; }
 
  private:
@@ -261,6 +270,7 @@ class Network {
 
   Simulation* sim_;
   double jitter_frac_;
+  shard_guard::ShardOwner guard_;
   Rng rng_;
   std::vector<Region> regions_;
   std::vector<bool> partitioned_;

@@ -7,6 +7,7 @@
 
 #include "src/support/check.h"
 #include "src/support/profile.h"
+#include "src/support/shard_guard.h"
 #include "src/support/thread_pool.h"
 
 namespace diablo {
@@ -247,7 +248,9 @@ void Simulation::ExecuteSlice(int worker) {
     }
     tls_worker.now = entry.time;
     tls_worker.drain_index = i;
+    shard_guard::EnterEvent(entry.shard);
     entry.fn();
+    shard_guard::ExitEvent();
     ++ran;
   }
   w.executed += ran;
@@ -265,7 +268,9 @@ void Simulation::ExecuteAllInline() {
     BatchEntry& entry = batch_[i];
     tls_worker.now = entry.time;
     tls_worker.drain_index = i;
+    shard_guard::EnterEvent(entry.shard);
     entry.fn();
+    shard_guard::ExitEvent();
   }
   w.executed += batch_.size();
   tls_worker.sim = nullptr;

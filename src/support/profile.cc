@@ -107,6 +107,7 @@ bool Enabled() { return g_enabled; }
 
 void AddEvents(uint64_t n) { g_events.fetch_add(n, std::memory_order_relaxed); }
 void AddSends(uint64_t n) { g_sends.fetch_add(n, std::memory_order_relaxed); }
+// detlint: allow(D7, stderr-only profiling counter: relaxed atomic read once at process exit, never during a run, so it cannot perturb simulation state)
 void CountVoteRound() { g_vote_rounds.fetch_add(1, std::memory_order_relaxed); }
 void AddVmOps(uint64_t n) { g_vm_ops.fetch_add(n, std::memory_order_relaxed); }
 

@@ -1,0 +1,36 @@
+#include "src/support/shard_guard.h"
+
+#if defined(DIABLO_CHECKED) && DIABLO_CHECKED
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace diablo::shard_guard {
+namespace {
+
+thread_local uint32_t tls_shard = kUnowned;
+
+}  // namespace
+
+void EnterEvent(uint32_t shard) { tls_shard = shard; }
+void ExitEvent() { tls_shard = kUnowned; }
+uint32_t CurrentShard() { return tls_shard; }
+
+void AccessViolation(const char* what, uint32_t owner, uint32_t current) {
+  if (owner == kUnowned) {
+    std::fprintf(stderr,
+                 "[shard-guard] %s is serial-only but was accessed from "
+                 "shard %u inside a parallel window\n",
+                 what, current);
+  } else {
+    std::fprintf(stderr,
+                 "[shard-guard] %s is owned by shard %u but was accessed "
+                 "from shard %u inside a parallel window\n",
+                 what, owner, current);
+  }
+  std::abort();
+}
+
+}  // namespace diablo::shard_guard
+
+#endif  // DIABLO_CHECKED

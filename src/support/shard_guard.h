@@ -1,0 +1,98 @@
+// Checked-build shard-ownership tracking: the dynamic counterpart of
+// detlint's D7/D8 call-graph rules.
+//
+// The windowed parallel scheduler (src/sim/simulation.cc) executes sharded
+// events concurrently inside a time window; correctness rests on every
+// mutable structure being touched by exactly one shard during a window (or
+// only by serial/barrier code). detlint proves what it can see statically;
+// this module asserts the same invariant at runtime on the accesses that
+// actually happen.
+//
+// Model: the scheduler brackets each windowed event with EnterEvent(shard) /
+// ExitEvent() on the executing thread. Structures that are owned for the
+// duration of a run — the chain context and its mempool/ledger/stats, the
+// network's shared stream and counters — carry a ShardOwner bound to the
+// owning shard when sharding is configured. ShardOwner::AssertAccess()
+// allows the access when
+//   - the owner is unbound (sharding not configured for this run), or
+//   - the current thread is in serial/barrier context (no windowed event in
+//     flight — fault publication, report building, setup), or
+//   - the current event's shard equals the owner shard.
+// Ownership is compared shard-to-shard, not worker-to-worker, so a binding
+// is valid at every DIABLO_CELL_WORKERS count at once.
+//
+// Contract (same as check.h): the tracker never draws from an Rng, never
+// touches stdout, and never mutates simulation state — a checked run's
+// report is byte-identical to an unchecked one (locked by configs_test's
+// golden-report-hash case). A violation prints the structure, owner and
+// offending shard to stderr and aborts. Everything here compiles to nothing
+// without -DDIABLO_CHECKED=ON.
+#ifndef SRC_SUPPORT_SHARD_GUARD_H_
+#define SRC_SUPPORT_SHARD_GUARD_H_
+
+#include <cstdint>
+
+namespace diablo::shard_guard {
+
+// Sentinel for "no windowed event in flight" / "no owner bound"; matches
+// kSerialShard in src/sim/event_queue.h. Binding a ShardOwner *to* this
+// value is meaningful: it declares the structure serial-only, so any access
+// from inside a windowed event is a violation.
+inline constexpr uint32_t kUnowned = 0xffffffffu;
+
+#if defined(DIABLO_CHECKED) && DIABLO_CHECKED
+
+// Thread-local window context, maintained by Simulation::ExecuteSlice /
+// ExecuteAllInline around each windowed event. Serial-loop events never
+// call these, so serial context is simply "no event entered".
+void EnterEvent(uint32_t shard);
+void ExitEvent();
+uint32_t CurrentShard();
+
+[[noreturn]] void AccessViolation(const char* what, uint32_t owner,
+                                  uint32_t current);
+
+class ShardOwner {
+ public:
+  void Bind(uint32_t shard, const char* what) {
+    bound_ = true;
+    owner_ = shard;
+    what_ = what;
+  }
+  void Unbind() { bound_ = false; }
+
+  void AssertAccess() const {
+    if (!bound_) {
+      return;
+    }
+    const uint32_t current = CurrentShard();
+    if (current == kUnowned || current == owner_) {
+      return;
+    }
+    AccessViolation(what_, owner_, current);
+  }
+
+ private:
+  bool bound_ = false;
+  uint32_t owner_ = kUnowned;
+  const char* what_ = "";
+};
+
+#else
+
+inline void EnterEvent(uint32_t) {}
+inline void ExitEvent() {}
+inline uint32_t CurrentShard() { return kUnowned; }
+
+class ShardOwner {
+ public:
+  void Bind(uint32_t, const char*) {}
+  void Unbind() {}
+  void AssertAccess() const {}
+};
+
+#endif
+
+}  // namespace diablo::shard_guard
+
+#endif  // SRC_SUPPORT_SHARD_GUARD_H_

@@ -1,0 +1,32 @@
+// detlint fixture: rule D7 — RNG draws / global writes reachable from a
+// parallel-phase root through the call graph, outside any marked region.
+// v1's per-file region scan saw nothing here: every hazard sits in a helper
+// lexically outside the begin/end markers.
+
+unsigned long g_tally = 0;
+
+unsigned long HelperDraw(diablo::ChainContext* ctx) {
+  return ctx->rng().NextU64();  // D7 via Root -> HelperDraw (one level deep)
+}
+
+void HelperWrite(unsigned long v) {
+  g_tally += v;  // D7 via Root -> Middle -> HelperWrite (two levels deep)
+}
+
+void Middle(unsigned long v) { HelperWrite(v); }
+
+unsigned long HelperSuppressed(diablo::ChainContext* ctx) {
+  // detlint: allow(D7, fixture: this helper is handed the shard-owned stream)
+  return ctx->rng().NextU64();
+}
+
+unsigned long Unreached(diablo::ChainContext* ctx) {
+  return ctx->rng().NextU64();  // no root calls this: quiet (ctx is D4-allowlisted)
+}
+
+// detlint: parallel-phase(begin, fixture-root)
+unsigned long Root(diablo::ChainContext* ctx, unsigned long v) {
+  Middle(v);
+  return HelperDraw(ctx) + HelperSuppressed(ctx);
+}
+// detlint: parallel-phase(end)

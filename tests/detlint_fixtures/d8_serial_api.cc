@@ -1,0 +1,26 @@
+// detlint fixture: rule D8 — serial-only APIs reachable from a parallel
+// phase, both through helpers and lexically inside the region.
+
+void HelperSchedule(diablo::Simulation* sim, long when) {
+  sim->ScheduleAt(when, [] {});  // D8 via Root -> HelperSchedule
+}
+
+void HelperPrint(unsigned long v) {
+  printf("%lu\n", v);  // D8 via Root -> HelperPrint (stdout)
+}
+
+void HelperSuppressed(diablo::Simulation* sim, long when) {
+  // detlint: allow(D8, fixture: this path only runs when sharding is disabled)
+  sim->ScheduleAt(when, [] {});
+}
+
+// detlint: parallel-phase(begin)
+void Root(diablo::Simulation* sim, long when) {
+  HelperSchedule(sim, when);
+  HelperPrint(7);
+  HelperSuppressed(sim, when);
+  sim->ScheduleAt(when, [] {});   // D8 directly inside the region
+  sim->ScheduleOn(0, [] {});      // shard-owned alternative: quiet
+  sim->ScheduleAtOn(1, when, [] {});  // also quiet
+}
+// detlint: parallel-phase(end)

@@ -1,0 +1,15 @@
+// detlint fixture: raw string literals are data, not code — including the
+// encoding-prefixed forms (u8R/uR/UR/LR) the v1 lexer mis-lexed as an
+// identifier followed by an ordinary string, which terminated at the first
+// embedded quote and leaked the remainder into the token stream.
+const char* kPlain = R"(rand() and steady_clock inside a raw string)";
+const char* kDelim = R"x(std::unordered_map<int*, int> " and a stray )" stays raw)x";
+const char* kPrefixed = u8R"(calling rand() with an embedded quote: ")";
+const char* kWide = LR"(time(nullptr) and another quote: ")";
+const char* kShort = uR"(srand(7))";
+const char* kCaps = UR"(gettimeofday in here too)";
+// The swallowed-suppression regression: with the prefix bug the lexer's
+// quote state desynced above, so this directive vanished into a phantom
+// string literal and the rand() below surfaced unsuppressed.
+// detlint: allow(D2, fixture: proves suppressions survive raw strings)
+unsigned long Tick() { return 1 + rand(); }

@@ -1,7 +1,10 @@
 // Locks the determinism linter's rule behavior against the fixture corpus in
-// tests/detlint_fixtures/: each rule D1–D6 must fire on its known violation
+// tests/detlint_fixtures/: each rule D1–D8 must fire on its known violation
 // at the exact line, each suppressed variant must be marked suppressed, and
 // reasonless suppressions must surface as SUP findings without suppressing.
+// The D7/D8 cases cover the call-graph pass: hazards one and two call levels
+// below a parallel-phase region, which the per-file v1 scan provably missed
+// (nothing in those helpers is lexically inside a region).
 #include <gtest/gtest.h>
 
 #include <string>
@@ -16,14 +19,20 @@ namespace {
 // (rule, line, suppressed) triples in file order.
 using Triple = std::tuple<std::string, int, bool>;
 
-std::vector<Triple> Lint(const std::string& fixture) {
-  const LintResult result =
-      LintFile(std::string(DETLINT_FIXTURE_DIR) + "/" + fixture);
+std::string FixturePath(const std::string& fixture) {
+  return std::string(DETLINT_FIXTURE_DIR) + "/" + fixture;
+}
+
+std::vector<Triple> Triples(const LintResult& result) {
   std::vector<Triple> out;
   for (const Finding& f : result.findings) {
     out.emplace_back(f.rule, f.line, f.suppressed);
   }
   return out;
+}
+
+std::vector<Triple> Lint(const std::string& fixture) {
+  return Triples(LintFile(FixturePath(fixture)));
 }
 
 TEST(Detlint, D1FiresOnUnorderedIterationAndHonorsSuppression) {
@@ -132,6 +141,147 @@ TEST(Detlint, D5FiresOnFloatAccumulationInsideUnorderedLoops) {
   EXPECT_EQ(got, want);
 }
 
+// --- D7/D8: the call-graph pass -------------------------------------------
+
+TEST(Detlint, D7FiresOnHazardsReachableThroughTheCallGraph) {
+  const auto got = Lint("d7_transitive_rng.cc");
+  const std::vector<Triple> want = {
+      {"D7", 9, false},   // ctx->rng() one call below the region (v1: missed)
+      {"D7", 13, false},  // g_tally += two calls below the region
+      {"D7", 20, true},   // suppressed helper draw
+      // line 24 (Unreached) is absent: no parallel-phase root calls it
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(Detlint, D7FindingsCarryTheFullCallChain) {
+  const LintResult result = LintFile(FixturePath("d7_transitive_rng.cc"));
+  ASSERT_EQ(result.findings.size(), 3u);
+  EXPECT_EQ(result.findings[0].chain,
+            (std::vector<std::string>{"Root", "HelperDraw"}));
+  EXPECT_EQ(result.findings[1].chain,
+            (std::vector<std::string>{"Root", "Middle", "HelperWrite"}));
+  EXPECT_EQ(result.findings[2].chain,
+            (std::vector<std::string>{"Root", "HelperSuppressed"}));
+}
+
+TEST(Detlint, D7DoesNotDuplicateInRegionSitesCoveredByD6) {
+  // Inside a marked region D6 owns the finding; D7 must not double-report.
+  for (const Finding& f : LintFile(FixturePath("d6_parallel_phase_rng.cc")).findings) {
+    EXPECT_NE(f.rule, "D7") << FormatFinding(f);
+  }
+  for (const Finding& f : LintFile(FixturePath("d7_transitive_rng.cc")).findings) {
+    EXPECT_NE(f.rule, "D6") << FormatFinding(f);
+  }
+}
+
+TEST(Detlint, D8FiresOnSerialOnlyApisReachableFromParallelPhase) {
+  const auto got = Lint("d8_serial_api.cc");
+  const std::vector<Triple> want = {
+      {"D8", 5, false},   // sim->ScheduleAt in a helper (v1: missed)
+      {"D8", 9, false},   // printf in a helper
+      {"D8", 14, true},   // suppressed helper ScheduleAt
+      {"D8", 22, false},  // ScheduleAt directly inside the region
+      // ScheduleOn / ScheduleAtOn (lines 23-24) are absent: shard-owned
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(Detlint, D8ChainsNameTheRootEvenForInRegionSites) {
+  const LintResult result = LintFile(FixturePath("d8_serial_api.cc"));
+  ASSERT_EQ(result.findings.size(), 4u);
+  EXPECT_EQ(result.findings[0].chain,
+            (std::vector<std::string>{"Root", "HelperSchedule"}));
+  EXPECT_EQ(result.findings[3].chain, (std::vector<std::string>{"Root"}));
+}
+
+TEST(Detlint, D7CrossesTranslationUnits) {
+  const LintResult result = LintProject({
+      SourceFile{"src/a.cc", R"cc(
+        // detlint: parallel-phase(begin)
+        void RootFn(diablo::ChainContext* ctx) { HelperAcross(ctx); }
+        // detlint: parallel-phase(end)
+      )cc"},
+      SourceFile{"src/b.cc", R"cc(
+        unsigned long HelperAcross(diablo::ChainContext* ctx) {
+          return ctx->rng().NextU64();
+        }
+      )cc"},
+  });
+  ASSERT_EQ(result.findings.size(), 1u);
+  const Finding& f = result.findings[0];
+  EXPECT_EQ(f.file, "src/b.cc");
+  EXPECT_EQ(f.rule, "D7");
+  EXPECT_EQ(f.line, 3);
+  EXPECT_EQ(f.chain, (std::vector<std::string>{"RootFn", "HelperAcross"}));
+}
+
+TEST(Detlint, ReachabilityDoesNotCrossIntoTestHelpers) {
+  // A production root must not drag same-named helpers under tests/ (or
+  // bench/, examples/, tools/) into the fixpoint.
+  const LintResult result = LintProject({
+      SourceFile{"src/a.cc", R"cc(
+        // detlint: parallel-phase(begin)
+        void RootFn(diablo::ChainContext* ctx) { HelperAcross(ctx); }
+        // detlint: parallel-phase(end)
+      )cc"},
+      SourceFile{"tests/b_test.cc", R"cc(
+        unsigned long HelperAcross(diablo::ChainContext* ctx) {
+          return ctx->rng().NextU64();
+        }
+      )cc"},
+  });
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(Detlint, BuiltinWorkerEntryPointsAreRootsWithoutMarkers) {
+  // SimClient::Trigger runs on a windowed worker even if its region marker
+  // were dropped; the analyzer treats it as a root by qualified name.
+  const LintResult result = LintProject({
+      SourceFile{"src/client.cc", R"cc(
+        class SimClient {
+         public:
+          void Trigger(diablo::ChainContext* ctx) { HelperDraws(ctx); }
+        };
+      )cc"},
+      SourceFile{"src/helper.cc", R"cc(
+        unsigned long HelperDraws(diablo::ChainContext* ctx) {
+          return ctx->rng().NextU64();
+        }
+      )cc"},
+  });
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "D7");
+  EXPECT_EQ(result.findings[0].chain,
+            (std::vector<std::string>{"SimClient::Trigger", "HelperDraws"}));
+}
+
+// --- Raw string literals ---------------------------------------------------
+
+TEST(Detlint, RawStringsAreDataIncludingPrefixedForms) {
+  const auto got = Lint("raw_string.cc");
+  const std::vector<Triple> want = {
+      {"D2", 15, true},  // the real rand(), suppressed by the directive the
+                         // v1 prefix bug would have swallowed
+      // nothing fires for rand()/steady_clock/unordered_map<int*,...> inside
+      // the raw strings on lines 5-10, prefixed or not
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(Detlint, RawStringDelimitersAndEmbeddedQuotesDoNotDesyncTheLexer) {
+  const LintResult result = LintSource("raw.cc", R"outer(
+    const char* a = uR"(first " embedded quote, rand() is data)";
+    const char* b = R"d(second with )" decoy closer, time(nullptr))d";
+    int Live() { return 1 + clock(); }
+  )outer");
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "D2");
+  EXPECT_EQ(result.findings[0].line, 4);  // proves line counting stayed true
+}
+
+// --- Plumbing --------------------------------------------------------------
+
 TEST(Detlint, ReasonlessSuppressionIsAFindingAndSuppressesNothing) {
   const auto got = Lint("sup_missing_reason.cc");
   const std::vector<Triple> want = {
@@ -142,15 +292,14 @@ TEST(Detlint, ReasonlessSuppressionIsAFindingAndSuppressesNothing) {
 }
 
 TEST(Detlint, CountUnsuppressedIgnoresSuppressedFindings) {
-  const LintResult result =
-      LintFile(std::string(DETLINT_FIXTURE_DIR) + "/d5_float_accumulation.cc");
+  const LintResult result = LintFile(FixturePath("d5_float_accumulation.cc"));
   EXPECT_EQ(result.findings.size(), 4u);
   EXPECT_EQ(CountUnsuppressed(result), 2u);
 }
 
-TEST(Detlint, FormatFindingCarriesFileLineRuleAndHint) {
+TEST(Detlint, FormatFindingCarriesFileLineRuleHintAndChain) {
   Finding f{"src/foo.cc", 12, "D1", "range-for over an unordered container",
-            "iterate a sorted copy", false, {}};
+            "iterate a sorted copy", false, {}, {}};
   EXPECT_EQ(FormatFinding(f),
             "src/foo.cc:12: [D1] range-for over an unordered container "
             "(hint: iterate a sorted copy)");
@@ -159,6 +308,51 @@ TEST(Detlint, FormatFindingCarriesFileLineRuleAndHint) {
   EXPECT_EQ(FormatFinding(f),
             "src/foo.cc:12: [D1] range-for over an unordered container "
             "[suppressed: fixture]");
+  f.chain = {"Root", "Helper"};
+  EXPECT_EQ(FormatFinding(f),
+            "src/foo.cc:12: [D1] range-for over an unordered container "
+            "[suppressed: fixture] [via Root -> Helper]");
+}
+
+TEST(Detlint, FindingsAsJsonEscapesAndCarriesChains) {
+  LintResult result;
+  result.findings.push_back(Finding{"src/a \"b\".cc", 7, "D7", "msg\nline",
+                                    "hint", false, "", {"Root", "Helper"}});
+  const std::string json = FindingsAsJson(result);
+  EXPECT_EQ(json,
+            "{\"findings\":[{\"file\":\"src/a \\\"b\\\".cc\",\"line\":7,"
+            "\"rule\":\"D7\",\"message\":\"msg\\nline\",\"hint\":\"hint\","
+            "\"suppressed\":false,\"reason\":\"\","
+            "\"chain\":[\"Root\",\"Helper\"]}]}");
+}
+
+TEST(Detlint, ShardReportInventoriesRootsCalleesAndState) {
+  const std::vector<SourceFile> files = {
+      SourceFile{"src/a.cc", R"cc(
+        // detlint: parallel-phase(begin, fixture-region)
+        void RootFn(diablo::ChainContext* ctx) { HelperAcross(ctx); }
+        // detlint: parallel-phase(end)
+      )cc"},
+      SourceFile{"src/b.cc", R"cc(
+        unsigned long g_hits = 0;
+        unsigned long HelperAcross(diablo::ChainContext* ctx) {
+          g_hits += 1;
+          return ctx->rng().NextU64();
+        }
+      )cc"},
+  };
+  const std::string report = ShardReport(files);
+  EXPECT_NE(report.find("root RootFn (src/a.cc) region=fixture-region"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("HelperAcross (src/b.cc)"), std::string::npos) << report;
+  EXPECT_NE(report.find("rng-accessor ctx->rng().NextU64 (src/b.cc)"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("global-write g_hits (src/b.cc)"), std::string::npos)
+      << report;
+  // Deterministic: byte-identical on re-run.
+  EXPECT_EQ(report, ShardReport(files));
 }
 
 TEST(Detlint, CleanSourceProducesNoFindings) {

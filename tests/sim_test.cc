@@ -10,6 +10,7 @@
 #include "src/sim/simulation.h"
 #include "src/support/check.h"
 #include "src/support/rng.h"
+#include "src/support/shard_guard.h"
 
 namespace diablo {
 namespace {
@@ -415,6 +416,63 @@ TEST(WindowedSimulationDeathTest, LookaheadViolationTripsCheckedBuild) {
         sim.Run();
       },
       "lookahead");
+}
+
+TEST(ShardGuardTest, OwnedAndSerialAccessesPass) {
+  // The tracker's allow conditions: owner-shard access inside a window,
+  // serial access outside any window, and any access while unbound. All
+  // three must be silent at any worker count.
+  Simulation sim(1);
+  sim.ConfigureCellWorkers(2, Milliseconds(10));
+  shard_guard::ShardOwner owner;
+  owner.AssertAccess();  // unbound: always allowed
+  owner.Bind(3, "test structure");
+  owner.AssertAccess();  // serial context: allowed
+  int touched = 0;
+  sim.ScheduleAtOn(3, Milliseconds(1), [&] {
+    owner.AssertAccess();  // owning shard inside a window: allowed
+    ++touched;
+  });
+  sim.Run();
+  EXPECT_EQ(touched, 1);
+}
+
+TEST(ShardGuardDeathTest, CrossShardAccessTripsCheckedBuild) {
+  if (!kCheckedBuild) {
+    GTEST_SKIP() << "shard-ownership tracking is compiled out of this build";
+  }
+  ASSERT_DEATH(
+      {
+        Simulation sim(1);
+        sim.ConfigureCellWorkers(1, Milliseconds(10));
+        shard_guard::ShardOwner owner;
+        owner.Bind(0, "test structure");
+        // An event on shard 1 touching shard 0's structure is exactly the
+        // cross-shard write the windowed scheduler cannot tolerate. One
+        // worker is enough: ownership is compared shard-to-shard, so the
+        // violation fires even when both shards map to the same thread.
+        sim.ScheduleAtOn(1, Milliseconds(1), [&owner] { owner.AssertAccess(); });
+        sim.Run();
+      },
+      "shard-guard");
+}
+
+TEST(ShardGuardDeathTest, SerialOnlyBindingRejectsWindowedAccess) {
+  if (!kCheckedBuild) {
+    GTEST_SKIP() << "shard-ownership tracking is compiled out of this build";
+  }
+  ASSERT_DEATH(
+      {
+        Simulation sim(1);
+        sim.ConfigureCellWorkers(1, Milliseconds(10));
+        shard_guard::ShardOwner owner;
+        // kUnowned as an explicit owner means serial-only (the
+        // clients-sharded/engine-serial configuration in primary.cc).
+        owner.Bind(shard_guard::kUnowned, "test structure");
+        sim.ScheduleAtOn(2, Milliseconds(1), [&owner] { owner.AssertAccess(); });
+        sim.Run();
+      },
+      "serial-only");
 }
 
 TEST(SimulationTest, DeterministicAcrossRuns) {

@@ -1,7 +1,9 @@
-// detlint CLI: lints C++ sources for determinism hazards (rules D1-D5, see
-// lint.h) and exits nonzero when unsuppressed findings remain.
+// detlint CLI: lints C++ sources for determinism hazards (rules D1-D8, see
+// lint.h) and exits nonzero when unsuppressed findings remain. The whole
+// file set is analyzed as one project so the call-graph rules (D7/D8) see
+// edges that cross translation units.
 //
-// Usage: detlint [--quiet] [--audit] [--exclude SUBSTR]... PATH...
+// Usage: detlint [MODE] [--exclude SUBSTR]... PATH...
 //   PATH        a file, or a directory scanned recursively for .h/.cc/.cpp
 //   --exclude   skip files whose path contains SUBSTR (repeatable); used to
 //               keep the deliberate-violation test fixtures out of the gate
@@ -10,9 +12,23 @@
 //               rule and reason so reviews see what the gate is not checking.
 //               Exits nonzero only for malformed suppressions (an allow()
 //               without a reason), not for ordinary findings.
+//   --json      print the findings as one JSON document on stdout instead of
+//               text lines (same exit-code contract as the default mode)
+//   --github    additionally emit GitHub Actions workflow commands
+//               (::error file=F,line=L::msg) for unsuppressed findings so CI
+//               surfaces them as PR annotations
+//   --shard-report
+//               print the deterministic per-region shard-safety inventory
+//               (transitive callees + shared state per parallel-phase root)
+//               and exit 0; with --baseline FILE, compare against the
+//               committed baseline instead and exit 1 on drift
+//   --baseline FILE
+//               baseline file for --shard-report drift checking
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -25,19 +41,52 @@ bool HasSourceExtension(const std::filesystem::path& path) {
   return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
 }
 
+// Escapes a message for a GitHub Actions workflow-command payload.
+std::string GithubEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '%':
+        out += "%25";
+        break;
+      case '\n':
+        out += "%0A";
+        break;
+      case '\r':
+        out += "%0D";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::vector<std::string> excludes;
+  std::string baseline;
   bool quiet = false;
   bool audit = false;
+  bool json = false;
+  bool github = false;
+  bool shard_report = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--audit") {
       audit = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--github") {
+      github = true;
+    } else if (arg == "--shard-report") {
+      shard_report = true;
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline = argv[++i];
     } else if (arg == "--exclude" && i + 1 < argc) {
       excludes.push_back(argv[++i]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -49,7 +98,8 @@ int main(int argc, char** argv) {
   }
   if (roots.empty()) {
     std::fprintf(stderr,
-                 "usage: detlint [--quiet] [--audit] [--exclude SUBSTR]... "
+                 "usage: detlint [--quiet] [--audit] [--json] [--github] "
+                 "[--shard-report [--baseline FILE]] [--exclude SUBSTR]... "
                  "PATH...\n");
     return 2;
   }
@@ -73,10 +123,9 @@ int main(int argc, char** argv) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  size_t scanned = 0;
-  size_t suppressed = 0;
-  size_t unsuppressed = 0;
-  size_t bad_suppressions = 0;
+  // Load every kept file up front: the project passes need all TUs at once.
+  std::vector<diablo::detlint::SourceFile> sources;
+  size_t unreadable = 0;
   for (const std::string& file : files) {
     bool skip = false;
     for (const std::string& substr : excludes) {
@@ -88,37 +137,108 @@ int main(int argc, char** argv) {
     if (skip) {
       continue;
     }
-    ++scanned;
-    const diablo::detlint::LintResult result = diablo::detlint::LintFile(file);
-    for (const diablo::detlint::Finding& finding : result.findings) {
-      if (finding.suppressed) {
-        ++suppressed;
-        if (audit && !quiet) {
-          std::printf("%s:%d: [%s] suppressed — %s\n", finding.file.c_str(),
-                      finding.line, finding.rule.c_str(),
-                      finding.suppress_reason.c_str());
-        }
-        continue;
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "detlint: cannot read %s\n", file.c_str());
+      ++unreadable;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    sources.push_back(diablo::detlint::SourceFile{file, buffer.str()});
+  }
+
+  if (shard_report) {
+    const std::string report = diablo::detlint::ShardReport(sources);
+    if (baseline.empty()) {
+      std::fputs(report.c_str(), stdout);
+      return unreadable == 0 ? 0 : 1;
+    }
+    std::ifstream in(baseline);
+    if (!in) {
+      std::fprintf(stderr, "detlint: cannot read baseline %s\n", baseline.c_str());
+      return 1;
+    }
+    std::ostringstream committed;
+    committed << in.rdbuf();
+    if (committed.str() == report) {
+      std::printf("detlint shard-report: baseline %s is current\n",
+                  baseline.c_str());
+      return unreadable == 0 ? 0 : 1;
+    }
+    // Line-level diff so the drift is reviewable straight from CI logs.
+    std::fprintf(stderr,
+                 "detlint shard-report: baseline %s is stale; regenerate with\n"
+                 "  detlint --shard-report <paths> > %s\n",
+                 baseline.c_str(), baseline.c_str());
+    std::istringstream want(committed.str());
+    std::istringstream got(report);
+    std::string want_line;
+    std::string got_line;
+    int line_no = 0;
+    while (true) {
+      const bool have_want = static_cast<bool>(std::getline(want, want_line));
+      const bool have_got = static_cast<bool>(std::getline(got, got_line));
+      if (!have_want && !have_got) {
+        break;
       }
-      ++unsuppressed;
-      if (finding.rule == "SUP") {
-        ++bad_suppressions;
-      }
-      if (!quiet && (!audit || finding.rule == "SUP")) {
-        std::printf("%s\n", diablo::detlint::FormatFinding(finding).c_str());
+      ++line_no;
+      if (!have_want) {
+        std::fprintf(stderr, "  +%d: %s\n", line_no, got_line.c_str());
+      } else if (!have_got) {
+        std::fprintf(stderr, "  -%d: %s\n", line_no, want_line.c_str());
+      } else if (want_line != got_line) {
+        std::fprintf(stderr, "  -%d: %s\n  +%d: %s\n", line_no,
+                     want_line.c_str(), line_no, got_line.c_str());
       }
     }
+    return 1;
+  }
+
+  const diablo::detlint::LintResult result = diablo::detlint::LintProject(sources);
+  size_t suppressed = 0;
+  size_t unsuppressed = 0;
+  size_t bad_suppressions = 0;
+  for (const diablo::detlint::Finding& finding : result.findings) {
+    if (finding.suppressed) {
+      ++suppressed;
+      if (audit && !quiet && !json) {
+        std::printf("%s:%d: [%s] suppressed — %s\n", finding.file.c_str(),
+                    finding.line, finding.rule.c_str(),
+                    finding.suppress_reason.c_str());
+      }
+      continue;
+    }
+    ++unsuppressed;
+    if (finding.rule == "SUP") {
+      ++bad_suppressions;
+    }
+    if (!json && !quiet && (!audit || finding.rule == "SUP")) {
+      std::printf("%s\n", diablo::detlint::FormatFinding(finding).c_str());
+    }
+    if (github) {
+      std::printf("::error file=%s,line=%d::[%s] %s\n", finding.file.c_str(),
+                  finding.line, finding.rule.c_str(),
+                  GithubEscape(finding.message).c_str());
+    }
+  }
+  if (json) {
+    std::printf("%s\n", diablo::detlint::FindingsAsJson(result).c_str());
   }
   if (audit) {
     // The audit pass reviews the suppression inventory: every allow() is
     // listed with its reason, and only reason-less ones fail the gate (the
     // ordinary findings gate runs as a separate invocation).
-    std::printf("detlint audit: %zu file(s), %zu suppression(s), "
-                "%zu malformed\n",
-                scanned, suppressed, bad_suppressions);
-    return bad_suppressions == 0 ? 0 : 1;
+    if (!json) {
+      std::printf("detlint audit: %zu file(s), %zu suppression(s), "
+                  "%zu malformed\n",
+                  sources.size(), suppressed, bad_suppressions);
+    }
+    return bad_suppressions == 0 && unreadable == 0 ? 0 : 1;
   }
-  std::printf("detlint: %zu file(s), %zu finding(s), %zu suppressed\n", scanned,
-              unsuppressed, suppressed);
-  return unsuppressed == 0 ? 0 : 1;
+  if (!json) {
+    std::printf("detlint: %zu file(s), %zu finding(s), %zu suppressed\n",
+                sources.size(), unsuppressed, suppressed);
+  }
+  return unsuppressed == 0 && unreadable == 0 ? 0 : 1;
 }
